@@ -1,0 +1,120 @@
+// Package repro's top-level benchmarks regenerate each evaluation figure of
+// the Butterfly paper at reduced scale — one benchmark per figure — plus an
+// end-to-end pipeline benchmark. Full-scale regeneration (100 windows,
+// H=2000/5000, both datasets) is the job of cmd/experiments; these
+// benchmarks exist so `go test -bench` exercises every experiment path and
+// reports its cost.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiment"
+)
+
+// benchOpts shrinks a figure run to benchmark scale: one dataset, few
+// windows, wide stride. The sweep structure (all settings, all variants) is
+// preserved — only the per-setting window count shrinks.
+func benchOpts() experiment.FigureOptions {
+	return experiment.FigureOptions{
+		WindowSize:    500,
+		Windows:       4,
+		Stride:        25,
+		Seed:          1,
+		Gamma:         2,
+		DatasetFilter: "WebView1",
+	}
+}
+
+func runFigure(b *testing.B, n int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiment.Figure(n, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkFig4Privacy regenerates the privacy/precision experiment
+// (avg_prig vs δ, avg_pred vs ε; Fig. 4).
+func BenchmarkFig4Privacy(b *testing.B) { runFigure(b, 4) }
+
+// BenchmarkFig5OrderRatio regenerates the order/ratio preservation
+// experiment (avg_ropp and avg_rrpp vs ε/δ; Fig. 5).
+func BenchmarkFig5OrderRatio(b *testing.B) { runFigure(b, 5) }
+
+// BenchmarkFig6Gamma regenerates the γ-tuning experiment (avg_ropp vs γ;
+// Fig. 6).
+func BenchmarkFig6Gamma(b *testing.B) { runFigure(b, 6) }
+
+// BenchmarkFig7Hybrid regenerates the λ-tradeoff experiment (ropp/rrpp
+// frontier; Fig. 7).
+func BenchmarkFig7Hybrid(b *testing.B) { runFigure(b, 7) }
+
+// BenchmarkFig8Overhead regenerates the efficiency experiment (per-window
+// mining/Basic/Opt time vs C; Fig. 8).
+func BenchmarkFig8Overhead(b *testing.B) {
+	opts := benchOpts()
+	opts.WindowSize = 1000 // Fig8 would otherwise bump the default to 5000
+	for i := 0; i < b.N; i++ {
+		panels, err := experiment.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) == 0 {
+			b.Fatal("no panels")
+		}
+	}
+}
+
+// BenchmarkPipelinePush measures the steady-state per-record cost of the
+// full stream pipeline (incremental mining + window bookkeeping).
+func BenchmarkPipelinePush(b *testing.B) {
+	stream, err := core.NewStream(core.StreamConfig{
+		WindowSize: 2000,
+		Params:     core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5},
+		Scheme:     core.Hybrid{Lambda: 0.4},
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.WebViewLike(1)
+	for i := 0; i < 2000; i++ {
+		stream.Push(gen.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Push(gen.Next())
+	}
+}
+
+// BenchmarkPipelinePublish measures one sanitized release of a full window
+// (FEC partitioning, bias optimization, perturbation).
+func BenchmarkPipelinePublish(b *testing.B) {
+	stream, err := core.NewStream(core.StreamConfig{
+		WindowSize: 2000,
+		Params:     core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5},
+		Scheme:     core.Hybrid{Lambda: 0.4},
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := data.WebViewLike(1)
+	for i := 0; i < 2200; i++ {
+		stream.Push(gen.Next())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Publish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

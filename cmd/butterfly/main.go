@@ -1,0 +1,218 @@
+// Command butterfly runs the full output-privacy pipeline of the paper over
+// a transaction stream: sliding-window frequent-itemset mining (Moment-style
+// incremental miner) followed by Butterfly perturbation, publishing
+// sanitized frequent itemsets window by window.
+//
+// Input is either a file/stdin in the conventional one-transaction-per-line
+// format (whitespace-separated item tokens) or a built-in synthetic stream:
+//
+//	butterfly -input transactions.dat -window 2000 -support 25
+//	butterfly -gen webview -n 10000 -publish-every 500 -scheme hybrid
+//
+// Each published window prints the top itemsets with SANITIZED supports —
+// the only supports that ever leave the system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/itemset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "butterfly: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("butterfly", flag.ContinueOnError)
+	var (
+		input        = fs.String("input", "", "transaction file (one transaction per line); '-' for stdin")
+		gen          = fs.String("gen", "", "synthetic stream instead of -input: webview or pos")
+		n            = fs.Int("n", 10000, "records to stream with -gen")
+		window       = fs.Int("window", 2000, "sliding window size H")
+		support      = fs.Int("support", 25, "minimum support C")
+		vuln         = fs.Int("vuln", 5, "vulnerable support K")
+		epsilon      = fs.Float64("epsilon", 0.016, "precision bound ε (max relative squared error)")
+		delta        = fs.Float64("delta", 0.4, "privacy floor δ (min relative inference error)")
+		scheme       = fs.String("scheme", "hybrid", "bias scheme: basic, order, ratio or hybrid")
+		lambda       = fs.Float64("lambda", 0.4, "hybrid weight λ (order vs ratio)")
+		gamma        = fs.Int("gamma", 2, "order-preserving DP lookback γ")
+		publishEvery = fs.Int("publish-every", 0, "publish every N slides after the window fills (0: once at end)")
+		top          = fs.Int("top", 10, "itemsets printed per published window (0 = all)")
+		closed       = fs.Bool("closed", false, "publish only closed frequent itemsets")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		dumpDir      = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
+		raw          = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	records, vocab, err := loadRecords(*input, *gen, *n, *seed, stdin)
+	if err != nil {
+		return err
+	}
+	if len(records) < *window {
+		return fmt.Errorf("stream has %d records, fewer than the window size %d", len(records), *window)
+	}
+
+	sch, err := buildScheme(*scheme, *lambda, *gamma)
+	if err != nil {
+		return err
+	}
+	stream, err := core.NewStream(core.StreamConfig{
+		WindowSize: *window,
+		Params: core.Params{
+			Epsilon:     *epsilon,
+			Delta:       *delta,
+			MinSupport:  *support,
+			VulnSupport: *vuln,
+		},
+		Scheme:     sch,
+		Seed:       *seed,
+		ClosedOnly: *closed,
+	})
+	if err != nil {
+		return err
+	}
+
+	mode := "scheme=" + sch.Name()
+	if *raw {
+		mode = "RAW (no protection)"
+	}
+	fmt.Fprintf(stdout, "# butterfly: H=%d C=%d K=%d ε=%g δ=%g %s\n",
+		*window, *support, *vuln, *epsilon, *delta, mode)
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	published := 0
+	sinceFull := 0
+	for i, rec := range records {
+		stream.Push(rec)
+		if !stream.Ready() {
+			continue
+		}
+		sinceFull++
+		atEnd := i == len(records)-1
+		due := *publishEvery > 0 && (sinceFull-1)%*publishEvery == 0
+		if !due && !atEnd {
+			continue
+		}
+		var out *core.Output
+		if *raw {
+			out = rawOutput(stream, *window)
+		} else {
+			var err error
+			out, err = stream.Publish()
+			if err != nil {
+				return err
+			}
+		}
+		published++
+		printWindow(stdout, out, vocab, *top, i+1, *window)
+		if *dumpDir != "" {
+			if err := dumpWindow(*dumpDir, i+1, out, vocab); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "# %d window(s) published over %d records\n", published, len(records))
+	return nil
+}
+
+// rawOutput packages the true mining result as an Output — what a system
+// without output-privacy protection releases.
+func rawOutput(stream *core.Stream, windowSize int) *core.Output {
+	return core.NewRawOutput(stream.Mine(), windowSize)
+}
+
+// dumpWindow writes one published window in the audit format.
+func dumpWindow(dir string, position int, out *core.Output, vocab *data.Vocabulary) error {
+	entries := make([]data.PublishedEntry, out.Len())
+	for i, it := range out.Items {
+		entries[i] = data.PublishedEntry{Support: it.Support, Set: it.Set}
+	}
+	path := fmt.Sprintf("%s/window-%d.txt", dir, position)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return data.WritePublished(f, entries, vocab)
+}
+
+func loadRecords(input, gen string, n int, seed uint64, stdin io.Reader) ([]itemset.Itemset, *data.Vocabulary, error) {
+	switch {
+	case input != "" && gen != "":
+		return nil, nil, fmt.Errorf("-input and -gen are mutually exclusive")
+	case input == "-":
+		recs, vocab, err := data.ReadTransactions(stdin)
+		return recs, vocab, err
+	case input != "":
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		recs, vocab, err := data.ReadTransactions(f)
+		return recs, vocab, err
+	case gen == "webview":
+		return data.WebViewLike(seed).Generate(n), nil, nil
+	case gen == "pos":
+		return data.POSLike(seed).Generate(n), nil, nil
+	case gen != "":
+		return nil, nil, fmt.Errorf("unknown generator %q (webview or pos)", gen)
+	default:
+		return nil, nil, fmt.Errorf("need -input FILE or -gen NAME")
+	}
+}
+
+func buildScheme(name string, lambda float64, gamma int) (core.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return core.Basic{}, nil
+	case "order", "op":
+		return core.OrderPreserving{Gamma: gamma}, nil
+	case "ratio", "rp":
+		return core.RatioPreserving{}, nil
+	case "hybrid":
+		if lambda < 0 || lambda > 1 {
+			return nil, fmt.Errorf("lambda %v outside [0,1]", lambda)
+		}
+		return core.Hybrid{Lambda: lambda, Order: core.OrderPreserving{Gamma: gamma}}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (basic, order, ratio, hybrid)", name)
+	}
+}
+
+func printWindow(w io.Writer, out *core.Output, vocab *data.Vocabulary, top, position, windowSize int) {
+	fmt.Fprintf(w, "\n== window Ds(%d,%d): %d frequent itemsets ==\n", position, windowSize, out.Len())
+	limit := len(out.Items)
+	if top > 0 && top < limit {
+		limit = top
+	}
+	for _, item := range out.Items[:limit] {
+		var name string
+		if vocab != nil {
+			name = vocab.Render(item.Set)
+		} else {
+			name = item.Set.String()
+		}
+		fmt.Fprintf(w, "  %-40s %d\n", name, item.Support)
+	}
+	if limit < len(out.Items) {
+		fmt.Fprintf(w, "  ... and %d more\n", len(out.Items)-limit)
+	}
+}

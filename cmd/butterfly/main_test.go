@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStdinPipeline(t *testing.T) {
+	in := strings.Repeat("a b c\na b\nb c\n", 4)
+	var out bytes.Buffer
+	err := run([]string{
+		"-input", "-", "-window", "6", "-support", "2", "-vuln", "1",
+		"-epsilon", "0.5", "-delta", "0.3", "-scheme", "basic",
+	}, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "window Ds(") {
+		t.Errorf("no window published:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "{a,b}") {
+		t.Errorf("expected itemset {a,b} in output:\n%s", out.String())
+	}
+}
+
+func TestRunGeneratedStream(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-gen", "webview", "-n", "1200", "-window", "600", "-support", "12",
+		"-epsilon", "0.1", "-delta", "0.4", "-scheme", "hybrid", "-top", "3",
+	}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 window(s) published") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no input at all
+		{"-input", "x", "-gen", "webview"}, // mutually exclusive
+		{"-gen", "nope"},                   // unknown generator
+		{"-gen", "webview", "-n", "5", "-window", "100"}, // too few records
+		{"-gen", "webview", "-scheme", "nope"},
+		{"-gen", "webview", "-scheme", "hybrid", "-lambda", "3"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("case %d (%v) did not error", i, args)
+		}
+	}
+}
+
+func TestRunRawAndDump(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-gen", "webview", "-n", "700", "-window", "600", "-support", "12",
+		"-epsilon", "0.1", "-delta", "0.4", "-raw", "-dump-dir", dir,
+	}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "window-*.txt"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no dumped windows: %v %v", matches, err)
+	}
+	content, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(content) == 0 {
+		t.Error("dumped window is empty")
+	}
+	if !strings.Contains(out.String(), "RAW") {
+		t.Error("raw mode not announced")
+	}
+}
+
+func TestBuildScheme(t *testing.T) {
+	for _, name := range []string{"basic", "order", "op", "ratio", "rp", "hybrid"} {
+		if _, err := buildScheme(name, 0.4, 2); err != nil {
+			t.Errorf("scheme %q rejected: %v", name, err)
+		}
+	}
+	if _, err := buildScheme("bogus", 0.4, 2); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}

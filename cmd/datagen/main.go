@@ -1,0 +1,69 @@
+// Command datagen writes synthetic transaction streams in the conventional
+// one-transaction-per-line format, for use with cmd/butterfly -input or any
+// other frequent-pattern tool.
+//
+//	datagen -profile webview -n 59602 > webview.dat   # BMS-WebView-1 scale
+//	datagen -profile pos -n 515597 > pos.dat          # BMS-POS scale
+//	datagen -items 200 -avg-len 4 -patterns 80 -n 10000 > custom.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/data"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		profile  = fs.String("profile", "", "preset profile: webview or pos (overrides the custom flags)")
+		n        = fs.Int("n", 10000, "transactions to generate")
+		items    = fs.Int("items", 100, "item universe size (custom profile)")
+		avgLen   = fs.Float64("avg-len", 3, "mean transaction length (custom profile)")
+		patterns = fs.Int("patterns", 0, "planted pattern pool size (custom profile; 0 = items/2)")
+		patLen   = fs.Float64("pattern-len", 2, "mean planted pattern length (custom profile)")
+		corrupt  = fs.Float64("corruption", 0.3, "mean pattern corruption level (custom profile)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("transaction count %d must be positive", *n)
+	}
+
+	var gen *data.Generator
+	switch *profile {
+	case "webview":
+		gen = data.WebViewLike(*seed)
+	case "pos":
+		gen = data.POSLike(*seed)
+	case "":
+		g, err := data.NewQuest(data.QuestConfig{
+			Items:             *items,
+			AvgTransactionLen: *avgLen,
+			AvgPatternLen:     *patLen,
+			NumPatterns:       *patterns,
+			CorruptionMean:    *corrupt,
+			Seed:              *seed,
+		})
+		if err != nil {
+			return err
+		}
+		gen = g
+	default:
+		return fmt.Errorf("unknown profile %q (webview, pos)", *profile)
+	}
+
+	return data.WriteTransactions(stdout, gen.Generate(*n), nil)
+}

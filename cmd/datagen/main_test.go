@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestDatagenPresets(t *testing.T) {
+	for _, profile := range []string{"webview", "pos"} {
+		var out bytes.Buffer
+		if err := run([]string{"-profile", profile, "-n", "50"}, &out); err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(lines) != 50 {
+			t.Errorf("%s: %d lines, want 50", profile, len(lines))
+		}
+	}
+}
+
+func TestDatagenCustomAndRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-items", "20", "-avg-len", "3", "-n", "100", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, vocab, err := data.ReadTransactions(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 100 {
+		t.Errorf("round trip read %d transactions", len(txs))
+	}
+	if vocab.Len() == 0 || vocab.Len() > 20 {
+		t.Errorf("vocabulary size %d outside (0,20]", vocab.Len())
+	}
+}
+
+func TestDatagenDeterministic(t *testing.T) {
+	gen := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-profile", "webview", "-n", "30", "-seed", "4"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different streams")
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus"},
+		{"-n", "0"},
+		{"-items", "0"}, // invalid custom config
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v) did not error", i, args)
+		}
+	}
+}

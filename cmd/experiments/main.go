@@ -1,0 +1,163 @@
+// Command experiments regenerates the evaluation figures of the Butterfly
+// paper (Wang & Liu, ICDE 2008, §VII) as text series: for every figure it
+// prints one table per panel, one row per x-value, one column per series.
+//
+// Usage:
+//
+//	experiments -fig 4              # one figure at paper scale (100 windows)
+//	experiments -fig 0 -windows 20  # all figures, reduced window count
+//	experiments -fig 5 -dataset POS # one dataset only
+//
+// Absolute numbers (especially Fig. 8 timings) depend on the host; the
+// qualitative shapes are the reproduction target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to regenerate (4-8); 0 runs all")
+		ablation   = flag.String("ablation", "", "run an ablation instead of a figure: knowledge, republication or suppression")
+		windows    = flag.Int("windows", 100, "published windows measured per configuration")
+		windowSize = flag.Int("window-size", 2000, "sliding window H (Fig. 8 uses 5000 when left at default)")
+		stride     = flag.Int("stride", 1, "record slides between consecutive publications")
+		seed       = flag.Uint64("seed", 1, "random seed for data generation and perturbation")
+		gamma      = flag.Int("gamma", 2, "order-preserving DP lookback γ")
+		dataset    = flag.String("dataset", "", "restrict to one dataset: WebView1 or POS (default both)")
+		pseeds     = flag.Int("privacy-seeds", 5, "independent perturbation runs averaged by the Fig. 4 privacy metric")
+		format     = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q (table, csv)\n", *format)
+		os.Exit(1)
+	}
+	outputFormat = *format
+
+	opts := experiment.FigureOptions{
+		WindowSize:    *windowSize,
+		Windows:       *windows,
+		Stride:        *stride,
+		Seed:          *seed,
+		Gamma:         *gamma,
+		DatasetFilter: *dataset,
+		PrivacySeeds:  *pseeds,
+	}
+
+	if *ablation != "" {
+		if err := runAblation(*ablation, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablation %s: %v\n", *ablation, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	figs := []int{*fig}
+	if *fig == 0 {
+		figs = []int{4, 5, 6, 7, 8}
+	}
+	for _, f := range figs {
+		t0 := time.Now()
+		panels, err := experiment.Figure(f, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f, err)
+			os.Exit(1)
+		}
+		for _, p := range panels {
+			printPanel(p)
+		}
+		fmt.Printf("# figure %d regenerated in %v\n\n", f, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+var outputFormat = "table"
+
+func printPanel(p experiment.Panel) {
+	if outputFormat == "csv" {
+		fmt.Print(p.CSV())
+		return
+	}
+	fmt.Print(p.Table())
+	fmt.Println()
+}
+
+// runAblation executes one of the design-choice ablations DESIGN.md calls
+// out and prints its series.
+func runAblation(name string, opts experiment.FigureOptions) error {
+	if opts.WindowSize == 0 {
+		opts.WindowSize = 2000
+	}
+	if opts.Windows == 0 {
+		opts.Windows = 100
+	}
+	if opts.Stride == 0 {
+		opts.Stride = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	ds := experiment.Datasets()[0]
+	if opts.DatasetFilter == "POS" {
+		ds = experiment.Datasets()[1]
+	}
+	params := core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5}
+
+	switch name {
+	case "knowledge":
+		w, err := experiment.Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, true)
+		if err != nil {
+			return err
+		}
+		s, err := experiment.AblationKnowledge(w, params, core.Basic{}, opts.Seed,
+			[]int{0, 1, 2, 4, 8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		printPanel(experiment.Panel{
+			Title:  fmt.Sprintf("Ablation %s: privacy vs adversary knowledge points (δ=%.2g)", ds.Name, params.Delta),
+			XLabel: "knowledge points (top-k true supports)", YLabel: "avg_prig",
+			Series: []experiment.Series{s},
+		})
+		return nil
+	case "republication":
+		w, err := experiment.Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
+		if err != nil {
+			return err
+		}
+		series, err := experiment.AblationRepublication(w, params, core.Basic{}, opts.Seed)
+		if err != nil {
+			return err
+		}
+		printPanel(experiment.Panel{
+			Title:  fmt.Sprintf("Ablation %s: averaging adversary MSE vs observed windows", ds.Name),
+			XLabel: "windows observed", YLabel: "MSE of averaged estimate",
+			Series: series,
+		})
+		return nil
+	case "suppression":
+		w, err := experiment.Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
+		if err != nil {
+			return err
+		}
+		cmp, err := experiment.AblationSuppression(w, params, core.Hybrid{Lambda: 0.4}, opts.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Ablation %s: detecting-then-removing vs Butterfly (%d windows) ==\n", ds.Name, cmp.Windows)
+		fmt.Printf("suppression: deletes %.1f%% of published itemsets/window, %.1f detect-remove rounds, %v total\n",
+			100*cmp.SuppressedFrac, cmp.SuppressRounds, cmp.SuppressTime.Round(time.Millisecond))
+		fmt.Printf("butterfly:   deletes nothing, avg_pred %.4g (ε=%.2g), %v total\n",
+			cmp.ButterflyPred, params.Epsilon, cmp.ButterflyTime.Round(time.Millisecond))
+		return nil
+	default:
+		return fmt.Errorf("unknown ablation %q (knowledge, republication, suppression)", name)
+	}
+}

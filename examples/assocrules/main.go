@@ -1,0 +1,81 @@
+// Association rules from sanitized output: the §VI-B use case.
+//
+// Rule confidence is a RATIO of two published supports, conf(A⇒B) =
+// T(A∪B)/T(A). This demo mines a retail basket window, derives the top
+// association rules three times — from the raw supports, from
+// ratio-preserving Butterfly output, and from order-preserving output — and
+// reports how far each sanitized rule set drifts from the truth. The
+// ratio-preserving scheme exists precisely to keep this consumer accurate.
+//
+// Run with: go run ./examples/assocrules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/assoc"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+func main() {
+	gen := data.POSLike(29)
+	db := itemset.NewDatabase(gen.Generate(2000))
+	const minSupport = 25
+	res, err := mining.Eclat(db, minSupport)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets := make([]itemset.Itemset, res.Len())
+	for i, fi := range res.Itemsets {
+		sets[i] = fi.Set
+	}
+	cfg := assoc.Config{MinConfidence: 0.3, Transactions: db.Len()}
+
+	trueRules := assoc.Rules(sets, res, cfg)
+	fmt.Printf("mined %d frequent itemsets; %d rules at confidence >= %.2f\n\n",
+		res.Len(), len(trueRules), cfg.MinConfidence)
+	fmt.Println("top rules from RAW supports (what leaks without protection):")
+	for i, r := range trueRules {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s\n", r)
+	}
+
+	params := core.Params{Epsilon: 0.1, Delta: 0.4, MinSupport: minSupport, VulnSupport: 5}
+	fmt.Printf("\nrule-confidence drift after Butterfly (ε=%.2g, δ=%.2g), averaged over 10 runs:\n",
+		params.Epsilon, params.Delta)
+	fmt.Printf("%-24s %22s\n", "scheme", "mean |Δconfidence|")
+	for _, scheme := range []core.Scheme{
+		core.Basic{},
+		core.OrderPreserving{Gamma: 2},
+		core.RatioPreserving{},
+		core.Hybrid{Lambda: 0.4},
+	} {
+		var total float64
+		const runs = 10
+		for r := 0; r < runs; r++ {
+			pub, err := core.NewPublisher(params, scheme, rng.New(uint64(40+r)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := pub.Publish(res, db.Len())
+			if err != nil {
+				log.Fatal(err)
+			}
+			mae, n := assoc.ConfidenceError(sets, res, out, cfg)
+			if n == 0 {
+				log.Fatal("no rules to compare")
+			}
+			total += mae
+		}
+		fmt.Printf("%-24s %22.4f\n", scheme.Name(), total/runs)
+	}
+	fmt.Println("\nRatio preservation keeps confidences closest to the truth; order")
+	fmt.Println("preservation trades that away for stable rankings (see retailstream).")
+}

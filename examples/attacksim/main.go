@@ -1,0 +1,163 @@
+// Attack simulation: the adversary of §IV against a live stream, with and
+// without Butterfly.
+//
+// The demo replays the paper's running example first — the inter-window
+// breach of Example 5, reproduced exactly — then turns the same adversary
+// loose on a clickstream: for a run of consecutive windows it counts how
+// many hard-vulnerable patterns (support <= K) the intra- and inter-window
+// attacks extract from the raw output, and how far off the same adversary's
+// estimates are once Butterfly sanitizes the releases.
+//
+// Run with: go run ./examples/attacksim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/mining/moment"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+func main() {
+	replayExample5()
+	huntStream()
+}
+
+// replayExample5 walks the paper's Fig. 3 scenario: windows Ds(11,8) and
+// Ds(12,8) with C=4, K=1.
+func replayExample5() {
+	fmt.Println("== The paper's Example 5 ==")
+	prev := viewOf(paperex.Window11(), 4)
+	cur := viewOf(paperex.Window12(), 4)
+	opts := attack.Options{VulnSupport: 1}
+
+	fmt.Printf("intra-window breaches: Ds(11,8): %d, Ds(12,8): %d (both immune)\n",
+		len(attack.IntraWindow(prev, opts)), len(attack.IntraWindow(cur, opts)))
+
+	infs := attack.InterWindow(prev, cur, 1, opts)
+	fmt.Printf("inter-window attack on the pair: %d breach(es)\n", len(infs))
+	for _, inf := range infs {
+		fmt.Printf("  %-10s support %d (%s)\n", inf.Pattern, inf.Support, inf.Source)
+	}
+	fmt.Println()
+}
+
+// huntStream runs the adversary over consecutive windows of a clickstream.
+func huntStream() {
+	const (
+		windowSize  = 800
+		minSupport  = 16
+		vulnSupport = 4
+		windows     = 30
+		stride      = 1
+	)
+	fmt.Printf("== Clickstream hunt: %d windows, H=%d, C=%d, K=%d ==\n",
+		windows, windowSize, minSupport, vulnSupport)
+
+	gen := data.WebViewLike(5)
+	miner := moment.New(windowSize, minSupport)
+	for i := 0; i < windowSize; i++ {
+		miner.Push(gen.Next())
+	}
+
+	params := core.Params{Epsilon: 0.06, Delta: 0.6, MinSupport: minSupport, VulnSupport: vulnSupport}
+	pub, err := core.NewPublisher(params, core.Hybrid{Lambda: 0.4}, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := attack.Options{VulnSupport: vulnSupport}
+	estOpts := attack.Options{VulnSupport: vulnSupport, SkipCompletion: true}
+	var prevClean *attack.View
+	totalBreaches, exactHits := 0, 0
+	var relErrs []float64
+
+	for w := 0; w < windows; w++ {
+		if w > 0 {
+			for s := 0; s < stride; s++ {
+				miner.Push(gen.Next())
+			}
+		}
+		res := miner.Frequent()
+		clean := resultView(res, windowSize)
+		breaches := attack.IntraWindow(clean, opts)
+		if prevClean != nil {
+			breaches = append(breaches, attack.InterWindow(prevClean, clean, stride, opts)...)
+		}
+		prevClean = clean
+		if len(breaches) == 0 {
+			continue
+		}
+		totalBreaches += len(breaches)
+
+		// The same adversary, now against the sanitized release.
+		out, err := pub.Publish(res, windowSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := attack.NewEstimator(viewOfOutput(out), estOpts)
+		for _, b := range breaches {
+			guess, ok := est.EstimatePattern(b.I, b.J)
+			if !ok {
+				continue
+			}
+			if int(math.Round(guess)) == b.Support {
+				exactHits++
+			}
+			rel := (guess - float64(b.Support)) / float64(b.Support)
+			relErrs = append(relErrs, rel*rel)
+		}
+	}
+
+	fmt.Printf("raw output:       %d vulnerable patterns inferred EXACTLY (every one a breach)\n",
+		totalBreaches)
+	fmt.Printf("butterfly output: %d/%d adversary guesses still exact\n", exactHits, totalBreaches)
+	var mean float64
+	for _, e := range relErrs {
+		mean += e
+	}
+	if len(relErrs) > 0 {
+		mean /= float64(len(relErrs))
+	}
+	fmt.Printf("adversary's mean squared relative error: %.3f (guaranteed floor δ = %.2g)\n",
+		mean, params.Delta)
+	fmt.Println("\nEvery raw-output inference is exact because inclusion-exclusion over")
+	fmt.Println("true supports is arithmetic, not statistics. Butterfly's calibrated")
+	fmt.Println("noise accumulates across the lattice and drowns the derivation.")
+}
+
+func viewOf(db *itemset.Database, c int) *attack.View {
+	res, err := mining.Eclat(db, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resultView(res, db.Len())
+}
+
+func resultView(res *mining.Result, windowSize int) *attack.View {
+	sets := make([]itemset.Itemset, res.Len())
+	sups := make([]int, res.Len())
+	for i, fi := range res.Itemsets {
+		sets[i] = fi.Set
+		sups[i] = fi.Support
+	}
+	return attack.NewView(windowSize, sets, sups)
+}
+
+func viewOfOutput(out *core.Output) *attack.View {
+	sets := make([]itemset.Itemset, out.Len())
+	sups := make([]int, out.Len())
+	for i, it := range out.Items {
+		sets[i] = it.Set
+		sups[i] = it.Support
+	}
+	return attack.NewView(out.WindowSize, sets, sups)
+}

@@ -1,0 +1,66 @@
+// Quickstart: the smallest end-to-end Butterfly pipeline.
+//
+// A synthetic clickstream is pushed through a sliding window; the window is
+// mined for frequent itemsets and the output is published twice — once raw
+// (what an unprotected mining system would release) and once sanitized by
+// Butterfly — so the two can be compared side by side.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func main() {
+	// A Butterfly stream: window of 1000 records, mining threshold C=20,
+	// vulnerable threshold K=5, precision budget ε=0.04 (published supports
+	// stay within ~20% of truth), privacy floor δ=0.4 (any inferred
+	// vulnerable pattern carries at least 40% relative estimation error).
+	stream, err := core.NewStream(core.StreamConfig{
+		WindowSize: 1000,
+		Params: core.Params{
+			Epsilon:     0.04,
+			Delta:       0.4,
+			MinSupport:  20,
+			VulnSupport: 5,
+		},
+		Scheme: core.Hybrid{Lambda: 0.4}, // balance order and ratio utility
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed a synthetic e-commerce clickstream (BMS-WebView-1 surrogate).
+	gen := data.WebViewLike(42)
+	for i := 0; i < 1500; i++ {
+		stream.Push(gen.Next())
+	}
+
+	raw := stream.Mine() // never leaves an actual deployment
+	sanitized, err := stream.Publish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("window mined: %d frequent itemsets at C=20\n\n", raw.Len())
+	fmt.Printf("%-24s %8s %11s %8s\n", "itemset", "true", "published", "error")
+	shown := 0
+	for _, fi := range raw.Itemsets {
+		san, _ := sanitized.Support(fi.Set)
+		fmt.Printf("%-24s %8d %11d %+7d\n", fi.Set.String(), fi.Support, san, san-fi.Support)
+		shown++
+		if shown == 12 {
+			break
+		}
+	}
+	fmt.Printf("... and %d more\n\n", raw.Len()-shown)
+	fmt.Println("The published column is all a consumer ever sees: close enough to")
+	fmt.Println("rank and compare itemsets, but noisy enough that inclusion-exclusion")
+	fmt.Println("over many itemsets cannot pin down any individual's record.")
+}

@@ -1,0 +1,246 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiment"
+	"repro/internal/itemset"
+	"repro/internal/metrics"
+	"repro/internal/mining"
+	"repro/internal/mining/moment"
+	"repro/internal/rng"
+)
+
+// The repository's headline integration test: stream → incremental mining →
+// Butterfly publication → inference attack, asserting the paper's two hard
+// guarantees on the way through.
+//
+//  1. Precision: avg_pred <= ε over every published window.
+//  2. Privacy: the adversary's pooled squared relative error on every
+//     lattice-derivable vulnerable pattern is >= δ (averaged over
+//     independent perturbation runs).
+func TestEndToEndGuarantees(t *testing.T) {
+	params := core.Params{Epsilon: 0.05, Delta: 0.6, MinSupport: 15, VulnSupport: 4}
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := experiment.Precompute(experiment.Datasets()[0], 600, 12, 4,
+		params.MinSupport, params.VulnSupport, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range experiment.Variants(2) {
+		res, err := experiment.RunPrecomputed(w, params, v.Scheme, experiment.EvalOptions{
+			Seed:         3,
+			WithAttack:   true,
+			PrivacySeeds: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgPred > params.Epsilon {
+			t.Errorf("%s: avg_pred %v exceeds ε %v", v.Name, res.AvgPred, params.Epsilon)
+		}
+		if res.PhvTotal == 0 {
+			t.Fatalf("%s: no inferable vulnerable patterns — the privacy assertion is vacuous", v.Name)
+		}
+		if res.AvgPrig < params.Delta {
+			t.Errorf("%s: avg_prig %v below δ %v over %d patterns",
+				v.Name, res.AvgPrig, params.Delta, res.PhvTotal)
+		}
+	}
+}
+
+// The incremental miner, the per-window miners and the publisher must agree
+// along a full pipeline run: everything Eclat finds is published, with the
+// same membership, every window.
+func TestPipelineMinersAgree(t *testing.T) {
+	gen := data.WebViewLike(21)
+	params := core.Params{Epsilon: 0.05, Delta: 0.5, MinSupport: 12, VulnSupport: 3}
+	stream, err := core.NewStream(core.StreamConfig{
+		WindowSize: 400, Params: params, Scheme: core.Basic{}, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 900; i++ {
+		stream.Push(gen.Next())
+		if !stream.Ready() || i%100 != 0 {
+			continue
+		}
+		mined := stream.Mine()
+		check, err := mining.Eclat(stream.Miner().Database(), params.MinSupport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mined.Len() != check.Len() {
+			t.Fatalf("record %d: incremental %d itemsets, Eclat %d", i, mined.Len(), check.Len())
+		}
+		out, err := stream.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fi := range check.Itemsets {
+			if _, ok := out.Support(fi.Set); !ok {
+				t.Fatalf("record %d: %v mined but not published", i, fi.Set)
+			}
+		}
+	}
+}
+
+// Replaying the identical stream with the identical seeds must reproduce
+// the identical published bytes — the reproducibility contract the
+// experiments rely on.
+func TestPipelineFullyDeterministic(t *testing.T) {
+	run := func() []int {
+		gen := data.POSLike(8)
+		stream, err := core.NewStream(core.StreamConfig{
+			WindowSize: 500,
+			Params:     core.Params{Epsilon: 0.05, Delta: 0.5, MinSupport: 15, VulnSupport: 3},
+			Scheme:     core.OrderPreserving{Gamma: 2},
+			Seed:       8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vals []int
+		for i := 0; i < 800; i++ {
+			stream.Push(gen.Next())
+			if stream.Ready() && i%150 == 0 {
+				out, err := stream.Publish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, it := range out.Items {
+					vals = append(vals, it.Support)
+				}
+			}
+		}
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("published value %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// An attack on raw output finds exact breaches; the same attack run on
+// Butterfly output must not recover them: over many windows, the fraction
+// of breaches whose sanitized-output estimate rounds to the true value must
+// be far below 1.
+func TestAttackDefeatedEndToEnd(t *testing.T) {
+	const (
+		windowSize  = 600
+		minSupport  = 12
+		vulnSupport = 3
+		windows     = 15
+	)
+	gen := data.WebViewLike(33)
+	miner := moment.New(windowSize, minSupport)
+	for i := 0; i < windowSize; i++ {
+		miner.Push(gen.Next())
+	}
+	params := core.Params{Epsilon: 0.05, Delta: 0.8, MinSupport: minSupport, VulnSupport: vulnSupport}
+	pub, err := core.NewPublisher(params, core.Basic{}, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := attack.Options{VulnSupport: vulnSupport}
+	total, exact := 0, 0
+	for w := 0; w < windows; w++ {
+		for s := 0; s < 4; s++ {
+			miner.Push(gen.Next())
+		}
+		res := miner.Frequent()
+		clean := cleanView(res, windowSize)
+		breaches := attack.IntraWindow(clean, opts)
+		if len(breaches) == 0 {
+			continue
+		}
+		out, err := pub.Publish(res, windowSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := attack.NewEstimator(sanView(out), attack.Options{VulnSupport: vulnSupport, SkipCompletion: true})
+		for _, b := range breaches {
+			guess, ok := est.EstimatePattern(b.I, b.J)
+			if !ok {
+				continue
+			}
+			total++
+			if int(math.Round(guess)) == b.Support {
+				exact++
+			}
+		}
+	}
+	if total < 10 {
+		t.Fatalf("only %d breaches found; fixture too weak", total)
+	}
+	if frac := float64(exact) / float64(total); frac > 0.5 {
+		t.Errorf("adversary still exact on %.0f%% of %d breaches", frac*100, total)
+	}
+}
+
+// Utility metrics computed from a published window must round-trip through
+// the same values the experiment harness reports.
+func TestMetricsConsistentWithHarness(t *testing.T) {
+	w, err := experiment.Precompute(experiment.Datasets()[0], 400, 3, 10, 12, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Epsilon: 0.05, Delta: 0.5, MinSupport: 12, VulnSupport: 3}
+	res, err := experiment.RunPrecomputed(w, params, core.Basic{}, experiment.EvalOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute by hand with an identically-seeded publisher.
+	pub, err := core.NewPublisher(params, core.Basic{}, rng.New(5^0x5bf0f5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds []float64
+	for _, wd := range w.Data {
+		out, err := pub.Publish(wd.Mined, w.WindowSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := make([]metrics.Pair, 0, wd.Mined.Len())
+		for _, fi := range wd.Mined.Itemsets {
+			san, _ := out.Support(fi.Set)
+			pairs = append(pairs, metrics.Pair{True: fi.Support, Sanitized: san})
+		}
+		preds = append(preds, metrics.AvgPred(pairs))
+	}
+	if got := metrics.Mean(preds); math.Abs(got-res.AvgPred) > 1e-12 {
+		t.Errorf("hand-computed avg_pred %v != harness %v", got, res.AvgPred)
+	}
+}
+
+func cleanView(res *mining.Result, windowSize int) *attack.View {
+	sets := make([]itemset.Itemset, res.Len())
+	sups := make([]int, res.Len())
+	for i, fi := range res.Itemsets {
+		sets[i] = fi.Set
+		sups[i] = fi.Support
+	}
+	return attack.NewView(windowSize, sets, sups)
+}
+
+func sanView(out *core.Output) *attack.View {
+	sets := make([]itemset.Itemset, out.Len())
+	sups := make([]int, out.Len())
+	for i, it := range out.Items {
+		sets[i] = it.Set
+		sups[i] = it.Support
+	}
+	return attack.NewView(out.WindowSize, sets, sups)
+}

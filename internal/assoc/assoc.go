@@ -1,0 +1,143 @@
+// Package assoc derives association rules from frequent-itemset output.
+// It exists because the paper motivates ratio preservation with exactly
+// this consumer: rule confidence is the RATIO of two published supports
+// (conf(A⇒B) = T(A∪B)/T(A)), so a perturbation that preserves support
+// ratios (§VI-B) keeps downstream rule mining honest even though every
+// individual support is noisy.
+//
+// Rules can be derived from raw mining results or from sanitized Butterfly
+// output — the package only needs a support lookup — which is how the tests
+// quantify the confidence error each scheme induces.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Rule is one association rule Antecedent ⇒ Consequent with its measures.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	// Support is the (possibly sanitized) support of Antecedent ∪ Consequent.
+	Support int
+	// Confidence is Support / T(Antecedent).
+	Confidence float64
+	// Lift is Confidence / (T(Consequent)/N): how much more often the
+	// consequent appears with the antecedent than baseline.
+	Lift float64
+}
+
+// String renders the rule as "{a} => {b} (sup=s conf=c lift=l)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%d conf=%.3f lift=%.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// SupportSource resolves itemset supports; both *mining.Result and
+// *core.Output satisfy it.
+type SupportSource interface {
+	Support(s itemset.Itemset) (int, bool)
+}
+
+// Config bounds rule generation.
+type Config struct {
+	// MinConfidence filters rules below this confidence (default 0.5).
+	MinConfidence float64
+	// Transactions is N, the window size, used for lift (0 disables lift,
+	// reported as 0).
+	Transactions int
+}
+
+// Rules derives all association rules A ⇒ B with A, B non-empty and
+// disjoint, A ∪ B ranging over the given itemsets, keeping rules whose
+// confidence meets cfg.MinConfidence. Antecedent supports must be available
+// from src (they are, for frequent-itemset output: subsets of frequent
+// itemsets are frequent). Output order is deterministic: descending
+// confidence, then descending support, then lexicographic.
+func Rules(sets []itemset.Itemset, src SupportSource, cfg Config) []Rule {
+	if cfg.MinConfidence == 0 {
+		cfg.MinConfidence = 0.5
+	}
+	var out []Rule
+	for _, whole := range sets {
+		if whole.Len() < 2 {
+			continue
+		}
+		wholeSup, ok := src.Support(whole)
+		if !ok {
+			continue
+		}
+		whole.ProperSubsets(func(ante itemset.Itemset) bool {
+			anteSup, ok := src.Support(ante)
+			if !ok || anteSup <= 0 {
+				return true
+			}
+			conf := float64(wholeSup) / float64(anteSup)
+			if conf < cfg.MinConfidence {
+				return true
+			}
+			cons := whole.Minus(ante)
+			lift := 0.0
+			if cfg.Transactions > 0 {
+				if consSup, ok := src.Support(cons); ok && consSup > 0 {
+					lift = conf / (float64(consSup) / float64(cfg.Transactions))
+				}
+			}
+			out = append(out, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    wholeSup,
+				Confidence: conf,
+				Lift:       lift,
+			})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		ak := a.Antecedent.Key() + "|" + a.Consequent.Key()
+		bk := b.Antecedent.Key() + "|" + b.Consequent.Key()
+		return ak < bk
+	})
+	return out
+}
+
+// ConfidenceError compares the rules derived from sanitized output against
+// ground truth: for every rule derivable from the TRUE supports (at the
+// given confidence threshold), it computes |conf_sanitized − conf_true| and
+// returns the mean absolute error plus the number of rules compared. Rules
+// whose sanitized antecedent support is missing or non-positive contribute
+// the full true confidence as error (the rule is unusable).
+func ConfidenceError(sets []itemset.Itemset, truth, sanitized SupportSource, cfg Config) (mae float64, rules int) {
+	trueRules := Rules(sets, truth, cfg)
+	var sum float64
+	for _, r := range trueRules {
+		whole := r.Antecedent.Union(r.Consequent)
+		wholeSan, ok1 := sanitized.Support(whole)
+		anteSan, ok2 := sanitized.Support(r.Antecedent)
+		if !ok1 || !ok2 || anteSan <= 0 {
+			sum += r.Confidence
+		} else {
+			sanConf := float64(wholeSan) / float64(anteSan)
+			d := sanConf - r.Confidence
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		rules++
+	}
+	if rules == 0 {
+		return 0, 0
+	}
+	return sum / float64(rules), rules
+}

@@ -1,0 +1,159 @@
+package assoc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+// fixture: 10 x {a,b}, 4 x {a}, 6 x {b,c} -> T(a)=14, T(b)=16, T(ab)=10,
+// T(c)=6, T(bc)=6, N=20.
+func fixtureResult(t *testing.T) (*mining.Result, *itemset.Database) {
+	t.Helper()
+	var recs []itemset.Itemset
+	for i := 0; i < 10; i++ {
+		recs = append(recs, itemset.New(0, 1))
+	}
+	for i := 0; i < 4; i++ {
+		recs = append(recs, itemset.New(0))
+	}
+	for i := 0; i < 6; i++ {
+		recs = append(recs, itemset.New(1, 2))
+	}
+	db := itemset.NewDatabase(recs)
+	res, err := mining.Apriori(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, db
+}
+
+func setsOf(res *mining.Result) []itemset.Itemset {
+	out := make([]itemset.Itemset, res.Len())
+	for i, fi := range res.Itemsets {
+		out[i] = fi.Set
+	}
+	return out
+}
+
+func TestRulesFromTrueSupports(t *testing.T) {
+	res, db := fixtureResult(t)
+	rules := Rules(setsOf(res), res, Config{MinConfidence: 0.5, Transactions: db.Len()})
+	// Expected rules with conf >= 0.5:
+	//   a=>b: 10/14 ≈ 0.714; b=>a: 10/16 = 0.625; c=>b: 6/6 = 1.0
+	//   b=>c: 6/16 = 0.375 (filtered)
+	byName := map[string]Rule{}
+	for _, r := range rules {
+		byName[r.Antecedent.String()+"=>"+r.Consequent.String()] = r
+	}
+	ab, ok := byName["{a}=>{b}"]
+	if !ok {
+		t.Fatalf("a=>b missing; got %v", rules)
+	}
+	if math.Abs(ab.Confidence-10.0/14) > 1e-12 {
+		t.Errorf("conf(a=>b) = %v", ab.Confidence)
+	}
+	// lift(a=>b) = conf / (T(b)/N) = (10/14)/(16/20).
+	wantLift := (10.0 / 14) / (16.0 / 20)
+	if math.Abs(ab.Lift-wantLift) > 1e-12 {
+		t.Errorf("lift(a=>b) = %v, want %v", ab.Lift, wantLift)
+	}
+	if _, ok := byName["{b}=>{c}"]; ok {
+		t.Error("b=>c should be filtered at conf 0.5")
+	}
+	cb, ok := byName["{c}=>{b}"]
+	if !ok || cb.Confidence != 1 {
+		t.Errorf("c=>b = %+v, %v", cb, ok)
+	}
+	// Sorted by descending confidence: c=>b first.
+	if !rules[0].Antecedent.Equal(itemset.New(2)) {
+		t.Errorf("first rule = %v", rules[0])
+	}
+}
+
+func TestRulesLiftDisabledWithoutN(t *testing.T) {
+	res, _ := fixtureResult(t)
+	rules := Rules(setsOf(res), res, Config{MinConfidence: 0.5})
+	for _, r := range rules {
+		if r.Lift != 0 {
+			t.Errorf("lift = %v without transaction count", r.Lift)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: itemset.New(0),
+		Consequent: itemset.New(1),
+		Support:    5, Confidence: 0.75, Lift: 1.5,
+	}
+	if got := r.String(); !strings.Contains(got, "=>") || !strings.Contains(got, "0.750") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConfidenceErrorZeroOnTruth(t *testing.T) {
+	res, db := fixtureResult(t)
+	mae, n := ConfidenceError(setsOf(res), res, res, Config{MinConfidence: 0.5, Transactions: db.Len()})
+	if mae != 0 {
+		t.Errorf("self-comparison MAE = %v", mae)
+	}
+	if n == 0 {
+		t.Error("no rules compared")
+	}
+}
+
+func TestConfidenceErrorEmptyInput(t *testing.T) {
+	res := mining.NewResult(2, nil)
+	mae, n := ConfidenceError(nil, res, res, Config{})
+	if mae != 0 || n != 0 {
+		t.Errorf("empty input: mae=%v n=%d", mae, n)
+	}
+}
+
+// The paper's §VI-B motivation, demonstrated: over a realistic stream, the
+// ratio-preserving scheme yields lower rule-confidence error than the
+// order-preserving scheme.
+func TestRatioPreservingBeatsOrderOnConfidence(t *testing.T) {
+	gen := data.POSLike(17)
+	db := itemset.NewDatabase(gen.Generate(1500))
+	res, err := mining.Eclat(db, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Epsilon: 0.15, Delta: 0.4, MinSupport: 20, VulnSupport: 5}
+	cfg := Config{MinConfidence: 0.3, Transactions: db.Len()}
+
+	avgMAE := func(scheme core.Scheme) float64 {
+		var total float64
+		const runs = 12
+		for r := 0; r < runs; r++ {
+			pub, err := core.NewPublisher(params, scheme, rng.New(uint64(100+r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := pub.Publish(res, db.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mae, n := ConfidenceError(setsOf(res), res, out, cfg)
+			if n == 0 {
+				t.Fatal("no rules to compare")
+			}
+			total += mae
+		}
+		return total / runs
+	}
+
+	rp := avgMAE(core.RatioPreserving{})
+	op := avgMAE(core.OrderPreserving{Gamma: 2})
+	if rp >= op {
+		t.Errorf("ratio-preserving confidence MAE %v not better than order-preserving %v", rp, op)
+	}
+}

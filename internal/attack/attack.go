@@ -1,0 +1,233 @@
+// Package attack implements the adversary of §IV of the Butterfly paper:
+// intra-window inference (deriving generalized-pattern supports from one
+// window's published frequent itemsets, completing missing supports whose
+// non-derivable bounds are tight) and inter-window inference (pinning
+// unpublished supports by combining bounds in overlapping windows with the
+// support transition between them).
+//
+// The same code serves two roles. Pointed at unperturbed mining output it is
+// the "analysis program" of §VII-A that finds every inferable hard-vulnerable
+// pattern (the Phv set behind the avg_prig metric); pointed at sanitized
+// output it is the attacker whose estimation error Butterfly lower-bounds.
+package attack
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Source records which inference technique produced a finding.
+type Source int
+
+const (
+	// Intra marks findings derivable from a single window's output.
+	Intra Source = iota
+	// Inter marks findings that additionally needed the previous window.
+	Inter
+)
+
+// String names the source for reports.
+func (s Source) String() string {
+	if s == Intra {
+		return "intra-window"
+	}
+	return "inter-window"
+}
+
+// Inference is one derived pattern support. When the adversary works from
+// sanitized output the Support is its best estimate, not the truth.
+type Inference struct {
+	Pattern itemset.Pattern
+	I, J    itemset.Itemset // the lattice X_I^J that derived it
+	Support int
+	Source  Source
+}
+
+// Options tunes the adversary.
+type Options struct {
+	// VulnSupport is K: only patterns with 0 < support <= K are reported.
+	// Zero disables the filter and reports every derivable pattern.
+	VulnSupport int
+	// MaxTargetSize caps the size of itemsets the adversary tries to pin or
+	// derive from; lattice work grows as 3^size. Defaults to 6.
+	MaxTargetSize int
+	// MaxCompletionRounds caps the fixpoint iterations when pinning missing
+	// supports. Defaults to 3.
+	MaxCompletionRounds int
+	// SkipCompletion makes NewEstimator resolve missing lattice members
+	// from their bounds directly instead of running the pinning fixpoint
+	// first. IntraWindow/InterWindow ignore it.
+	SkipCompletion bool
+	// Knowledge models the paper's Prior Knowledge 3 ("knowledge points"):
+	// itemsets whose TRUE support the adversary knows exactly from side
+	// channels — published dataset statistics, the unperturbed top-k, etc.
+	// NewEstimator overrides the sanitized values with these; each
+	// knowledge point removes one itemset's worth of variance from every
+	// inference that touches it.
+	Knowledge []KnowledgePoint
+}
+
+// KnowledgePoint is one itemset whose exact support the adversary holds.
+type KnowledgePoint struct {
+	Set     itemset.Itemset
+	Support int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTargetSize == 0 {
+		o.MaxTargetSize = 6
+	}
+	if o.MaxCompletionRounds == 0 {
+		o.MaxCompletionRounds = 3
+	}
+	return o
+}
+
+// View is what the adversary sees of one window: the published itemsets with
+// their (possibly sanitized) supports, and the window size H, which the
+// sliding-window protocol makes public.
+type View struct {
+	WindowSize int
+	sets       []itemset.Itemset
+	supports   map[string]int
+}
+
+// NewView builds a View from parallel slices of published itemsets and
+// support values.
+func NewView(windowSize int, sets []itemset.Itemset, supports []int) *View {
+	if len(sets) != len(supports) {
+		panic("attack: sets/supports length mismatch")
+	}
+	v := &View{
+		WindowSize: windowSize,
+		sets:       make([]itemset.Itemset, len(sets)),
+		supports:   make(map[string]int, len(sets)),
+	}
+	copy(v.sets, sets)
+	for i, s := range sets {
+		v.supports[s.Key()] = supports[i]
+	}
+	return v
+}
+
+// Support returns the published support of s.
+func (v *View) Support(s itemset.Itemset) (int, bool) {
+	if s.Empty() {
+		return v.WindowSize, true
+	}
+	val, ok := v.supports[s.Key()]
+	return val, ok
+}
+
+// Sets returns the published itemsets. Callers must not modify the slice.
+func (v *View) Sets() []itemset.Itemset { return v.sets }
+
+// Len returns the number of published itemsets.
+func (v *View) Len() int { return len(v.sets) }
+
+// table is the adversary's working set of exact (or believed-exact) supports,
+// growing as bounds become tight.
+type table struct {
+	windowSize int
+	vals       map[string]int
+	sets       map[string]itemset.Itemset
+	items      map[itemset.Item]bool
+}
+
+func newTable(v *View) *table {
+	t := &table{
+		windowSize: v.WindowSize,
+		vals:       make(map[string]int, v.Len()),
+		sets:       make(map[string]itemset.Itemset, v.Len()),
+		items:      map[itemset.Item]bool{},
+	}
+	for _, s := range v.sets {
+		val, _ := v.Support(s)
+		t.put(s, val)
+	}
+	return t
+}
+
+func (t *table) put(s itemset.Itemset, val int) {
+	k := s.Key()
+	t.vals[k] = val
+	t.sets[k] = s
+	if s.Len() == 1 {
+		t.items[s.At(0)] = true
+	}
+}
+
+func (t *table) has(s itemset.Itemset) bool {
+	if s.Empty() {
+		return true
+	}
+	_, ok := t.vals[s.Key()]
+	return ok
+}
+
+func (t *table) lookup(s itemset.Itemset) (int, bool) {
+	if s.Empty() {
+		return t.windowSize, true
+	}
+	v, ok := t.vals[s.Key()]
+	return v, ok
+}
+
+// singleItems returns the items published as frequent singletons, sorted.
+func (t *table) singleItems() []itemset.Item {
+	out := make([]itemset.Item, 0, len(t.items))
+	for it := range t.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedSets returns the known itemsets in deterministic order.
+func (t *table) sortedSets() []itemset.Itemset {
+	out := make([]itemset.Itemset, 0, len(t.sets))
+	for _, s := range t.sets {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// borderCandidates returns itemsets one item beyond the known table —
+// J = F ∪ {i} for known F and known single item i — that are not known
+// themselves and respect the size cap.
+func (t *table) borderCandidates(maxSize int) []itemset.Itemset {
+	items := t.singleItems()
+	seen := map[string]bool{}
+	var out []itemset.Itemset
+	for _, f := range t.sortedSets() {
+		if f.Len()+1 > maxSize {
+			continue
+		}
+		for _, it := range items {
+			if f.Contains(it) {
+				continue
+			}
+			j := f.With(it)
+			k := j.Key()
+			if seen[k] || t.has(j) {
+				continue
+			}
+			seen[k] = true
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}

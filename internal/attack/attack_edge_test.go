@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+// Inter-window with a stride greater than one degrades gracefully to the
+// coarse |Δ| <= slide bound and must never derive a WRONG value from clean
+// output.
+func TestInterWindowLargeSlideSound(t *testing.T) {
+	src := rng.New(911)
+	for trial := 0; trial < 6; trial++ {
+		recs := make([]itemset.Itemset, 60)
+		for i := range recs {
+			n := 1 + src.Intn(4)
+			items := make([]itemset.Item, 0, n)
+			for j := 0; j < n; j++ {
+				items = append(items, itemset.Item(src.Intn(6)))
+			}
+			recs[i] = itemset.New(items...)
+		}
+		const h, slide = 40, 7
+		prevDB := itemset.NewDatabase(recs[:h])
+		curDB := itemset.NewDatabase(recs[slide : h+slide])
+		prev := viewOf(t, prevDB, 5)
+		cur := viewOf(t, curDB, 5)
+		for _, inf := range InterWindow(prev, cur, slide, Options{}) {
+			if truth := curDB.PatternSupport(inf.Pattern); truth != inf.Support {
+				t.Fatalf("trial %d: %v derived %d, truth %d", trial, inf.Pattern, inf.Support, truth)
+			}
+		}
+	}
+}
+
+// Running the attacks on *sanitized* views must not panic or loop — the
+// values are internally inconsistent (deltas beyond ±slide, impossible
+// bounds) and the adversary code has to absorb that.
+func TestAttacksToleratePerturbedViews(t *testing.T) {
+	src := rng.New(913)
+	perturb := func(v *View) *View {
+		sets := make([]itemset.Itemset, 0, v.Len())
+		sups := make([]int, 0, v.Len())
+		for _, s := range v.Sets() {
+			val, _ := v.Support(s)
+			sets = append(sets, s)
+			sups = append(sups, val+src.IntRange(-4, 4))
+		}
+		return NewView(v.WindowSize, sets, sups)
+	}
+	prev := perturb(viewOf(t, paperex.Window11(), 4))
+	cur := perturb(viewOf(t, paperex.Window12(), 4))
+	// No assertion on content — just completion without panic, and dedup.
+	_ = IntraWindow(cur, Options{VulnSupport: 3})
+	_ = InterWindow(prev, cur, 1, Options{VulnSupport: 3})
+}
+
+// The completion fixpoint must respect MaxCompletionRounds.
+func TestCompletionRoundsBounded(t *testing.T) {
+	v := viewOf(t, paperex.Window12(), 3)
+	// With rounds=1 vs rounds=3 the attack may pin fewer values but must
+	// never report anything unsound.
+	db := paperex.Window12()
+	for _, rounds := range []int{1, 3} {
+		for _, inf := range IntraWindow(v, Options{MaxCompletionRounds: rounds}) {
+			if truth := db.PatternSupport(inf.Pattern); truth != inf.Support {
+				t.Fatalf("rounds=%d: %v derived %d, truth %d", rounds, inf.Pattern, inf.Support, truth)
+			}
+		}
+	}
+}
+
+// MaxTargetSize must cap lattice work: with size 2 the abc-based breaches
+// disappear while pair-level ones remain sound.
+func TestMaxTargetSizeCaps(t *testing.T) {
+	v := viewOf(t, paperex.Window12(), 3)
+	db := paperex.Window12()
+	infs := IntraWindow(v, Options{MaxTargetSize: 2})
+	for _, inf := range infs {
+		if inf.J.Len() > 2 {
+			t.Errorf("target %v exceeds MaxTargetSize 2", inf.J)
+		}
+		if truth := db.PatternSupport(inf.Pattern); truth != inf.Support {
+			t.Errorf("%v derived %d, truth %d", inf.Pattern, inf.Support, truth)
+		}
+	}
+}
+
+// An empty view yields no inferences and no panics anywhere.
+func TestAttacksOnEmptyView(t *testing.T) {
+	v := NewView(10, nil, nil)
+	if got := IntraWindow(v, Options{}); len(got) != 0 {
+		t.Errorf("IntraWindow on empty view: %v", got)
+	}
+	if got := InterWindow(v, v, 1, Options{}); len(got) != 0 {
+		t.Errorf("InterWindow on empty views: %v", got)
+	}
+}
+
+// Transition propagation: a +1 delta pins the entering record's membership.
+func TestTransitionPlusDelta(t *testing.T) {
+	// prev: T(a)=3; cur: T(a)=4 with slide 1 → entering record contains a,
+	// leaving one does not. If also T(ab) rose 2→3, entering contains ab.
+	mk := func(a, ab int) *View {
+		return NewView(10,
+			[]itemset.Itemset{itemset.New(0), itemset.New(0, 1)},
+			[]int{a, ab})
+	}
+	prevT := newTable(mk(3, 2))
+	curT := newTable(mk(4, 3))
+	tr := propagateTransition(prevT, curT)
+	if tr == nil {
+		t.Fatal("transition rejected consistent deltas")
+	}
+	lo, hi := tr.deltaRange(itemset.New(0, 1))
+	if lo != 1 || hi != 1 {
+		t.Errorf("Δ(ab) = [%d,%d], want [1,1]", lo, hi)
+	}
+}
+
+// Impossible deltas (|Δ| > 1 under slide 1) must void the transition model
+// rather than propagate nonsense.
+func TestTransitionRejectsImpossibleDelta(t *testing.T) {
+	mk := func(a int) *View {
+		return NewView(10, []itemset.Itemset{itemset.New(0)}, []int{a})
+	}
+	prevT := newTable(mk(3))
+	curT := newTable(mk(7))
+	if tr := propagateTransition(prevT, curT); tr != nil {
+		t.Error("impossible delta produced a transition model")
+	}
+}
+
+// The paper's "vice versa": the current window's output refines the
+// PREVIOUS window's unpublished supports by swapping the arguments.
+// Scenario: T(ab) rises 3 -> 4 across one slide; ab is published only in
+// the newer window (C=4), yet the pair pins the OLDER window's T(ab)=3.
+func TestInterWindowViceVersa(t *testing.T) {
+	const n = 20
+	older := NewView(n,
+		[]itemset.Itemset{itemset.New(0), itemset.New(1)},
+		[]int{6, 6}) // ab=3 hidden below C
+	newer := NewView(n,
+		[]itemset.Itemset{itemset.New(0), itemset.New(1), itemset.New(0, 1)},
+		[]int{7, 7, 4})
+
+	// Backward direction: "previous" = newer, "current" = older.
+	infs := InterWindow(newer, older, 1, Options{VulnSupport: 3})
+	ab := itemset.NewPattern(itemset.New(0, 1), itemset.New())
+	found := false
+	for _, inf := range infs {
+		if inf.Pattern.Equal(ab) {
+			found = true
+			if inf.Support != 3 {
+				t.Errorf("backward-pinned T(ab) = %d, want 3", inf.Support)
+			}
+			if inf.Source != Inter {
+				t.Errorf("source = %v", inf.Source)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("vice-versa direction failed to pin ab in the older window; got %v", infs)
+	}
+}

@@ -1,0 +1,156 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+// sanitizedView publishes a mining result through a Butterfly publisher.
+func sanitizedView(t *testing.T, res *mining.Result, windowSize int, seed uint64) *View {
+	t.Helper()
+	p := core.Params{Epsilon: 0.3, Delta: 0.8, MinSupport: res.MinSupport, VulnSupport: 1}
+	pub, err := core.NewPublisher(p, core.Basic{}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pub.Publish(res, windowSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([]itemset.Itemset, out.Len())
+	sups := make([]int, out.Len())
+	for i, it := range out.Items {
+		sets[i] = it.Set
+		sups[i] = it.Support
+	}
+	return NewView(windowSize, sets, sups)
+}
+
+// With full knowledge points covering the lattice, the adversary's estimate
+// is exact again despite perturbation — knowledge points nullify Butterfly
+// on the itemsets they cover (which is exactly why the paper counts them
+// against the variance budget).
+func TestKnowledgePointsRestoreExactness(t *testing.T) {
+	db := paperex.Window12()
+	res, err := mining.Eclat(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	san := sanitizedView(t, res, 8, 99)
+
+	i := itemset.New(paperex.C)
+	j := itemset.New(paperex.A, paperex.B, paperex.C)
+
+	// Without knowledge: the estimate is almost surely off on some draw.
+	// With the full lattice known: exactly 1.
+	var kps []KnowledgePoint
+	for _, x := range []itemset.Itemset{
+		itemset.New(paperex.C),
+		itemset.New(paperex.A, paperex.C),
+		itemset.New(paperex.B, paperex.C),
+		itemset.New(paperex.A, paperex.B, paperex.C),
+	} {
+		kps = append(kps, KnowledgePoint{Set: x, Support: db.Support(x)})
+	}
+	est := NewEstimator(san, Options{Knowledge: kps})
+	got, ok := est.EstimatePattern(i, j)
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	if got != 1 {
+		t.Errorf("estimate with full knowledge = %v, want exactly 1", got)
+	}
+}
+
+// Partial knowledge monotonically improves (or at worst does not hurt) the
+// adversary's average error across many perturbation draws.
+func TestKnowledgePointsReduceError(t *testing.T) {
+	db := paperex.Window12()
+	res, err := mining.Eclat(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := itemset.New(paperex.C)
+	j := itemset.New(paperex.A, paperex.B, paperex.C)
+	truth := float64(db.PatternSupport(itemset.NewPattern(i, j.Minus(i))))
+
+	kp := []KnowledgePoint{
+		{Set: itemset.New(paperex.A, paperex.C), Support: db.Support(itemset.New(paperex.A, paperex.C))},
+		{Set: itemset.New(paperex.B, paperex.C), Support: db.Support(itemset.New(paperex.B, paperex.C))},
+	}
+	const trials = 400
+	var errNone, errKP float64
+	for s := 0; s < trials; s++ {
+		san := sanitizedView(t, res, 8, uint64(1000+s))
+		e0, _ := NewEstimator(san, Options{}).EstimatePattern(i, j)
+		e1, _ := NewEstimator(san, Options{Knowledge: kp}).EstimatePattern(i, j)
+		errNone += (e0 - truth) * (e0 - truth)
+		errKP += (e1 - truth) * (e1 - truth)
+	}
+	if errKP >= errNone {
+		t.Errorf("knowledge points did not help: MSE %v (with) vs %v (without)",
+			errKP/trials, errNone/trials)
+	}
+}
+
+// The estimator's average squared error on a pattern must be at least the
+// calibrated variance floor when it has no side knowledge: Σσ² over the
+// (at least two) perturbed lattice members the derivation combines.
+func TestEstimatorErrorMeetsVarianceFloor(t *testing.T) {
+	db := paperex.Window12()
+	res, err := mining.Eclat(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Epsilon: 0.3, Delta: 0.8, MinSupport: 3, VulnSupport: 1}
+	i := itemset.New(paperex.C)
+	j := itemset.New(paperex.A, paperex.B, paperex.C)
+	truth := float64(db.PatternSupport(itemset.NewPattern(i, j.Minus(i))))
+
+	const trials = 2000
+	var sumSq float64
+	for s := 0; s < trials; s++ {
+		san := sanitizedView(t, res, 8, uint64(50000+s))
+		e, ok := NewEstimator(san, Options{SkipCompletion: true}).EstimatePattern(i, j)
+		if !ok {
+			t.Fatal("estimate failed")
+		}
+		sumSq += (e - truth) * (e - truth)
+	}
+	mse := sumSq / trials
+	floor := 2 * params.Sigma2()
+	if mse < floor*0.9 {
+		t.Errorf("adversary MSE %v below the 2σ² floor %v — privacy analysis violated",
+			mse, floor)
+	}
+}
+
+func TestKnowledgePointOverridesSanitizedValue(t *testing.T) {
+	// A single-itemset "pattern": the estimate equals the knowledge point
+	// regardless of what was published.
+	sets := []itemset.Itemset{itemset.New(1)}
+	v := NewView(100, sets, []int{57}) // sanitized says 57
+	est := NewEstimator(v, Options{Knowledge: []KnowledgePoint{{Set: itemset.New(1), Support: 50}}})
+	if got := est.EstimateItemset(itemset.New(1)); got != 50 {
+		t.Errorf("EstimateItemset = %v, want knowledge value 50", got)
+	}
+}
+
+// Sanity: math.Round of estimates stays finite on degenerate views.
+func TestEstimatorDegenerateView(t *testing.T) {
+	v := NewView(10, nil, nil)
+	est := NewEstimator(v, Options{})
+	got, ok := est.EstimatePattern(itemset.New(1), itemset.New(1, 2))
+	if !ok {
+		t.Fatal("estimate refused")
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("estimate = %v", got)
+	}
+}

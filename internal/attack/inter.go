@@ -1,0 +1,297 @@
+package attack
+
+import (
+	"repro/internal/itemset"
+	"repro/internal/lattice"
+)
+
+// InterWindow runs the two-stage inference of §IV-C against consecutive
+// published windows separated by `slide` record replacements: first estimate
+// the support transition of unpublished itemsets from the transitions of
+// published ones, then intersect the shifted previous-window bounds with the
+// current-window bounds; every pinned support joins the table and the
+// intra-window derivation runs on the augmented table.
+//
+// With slide == 1 the transition stage is exact constraint propagation over
+// the membership bits of the single leaving and entering record (a record
+// contains itemset X iff it contains every item of X, so itemset
+// memberships factor through item memberships). For larger slides the
+// transition degrades to the coarse bound |ΔT(X)| <= slide.
+//
+// The returned inferences include only findings beyond IntraWindow(cur):
+// run IntraWindow separately for the single-window breaches.
+//
+// The paper's "and vice versa" direction — inferring the PREVIOUS window's
+// vulnerable patterns from the pair — is the same computation with the
+// arguments swapped: InterWindow(cur, prev, slide, opts). The transition
+// model is symmetric (the entering record of one direction is the leaving
+// record of the other).
+func InterWindow(prev, cur *View, slide int, opts Options) []Inference {
+	if slide < 1 {
+		panic("attack: slide must be >= 1")
+	}
+	opts = opts.withDefaults()
+
+	prevT := newTable(prev)
+	completeTable(prevT, opts)
+	curT := newTable(cur)
+	completeTable(curT, opts)
+	baseline := IntraWindow(cur, opts)
+	baseKeys := map[string]bool{}
+	for _, inf := range baseline {
+		baseKeys[inf.Pattern.Key()] = true
+	}
+
+	var prop *transition
+	if slide == 1 {
+		prop = propagateTransition(prevT, curT)
+	}
+
+	// Try to pin every border candidate of the current table, plus any
+	// itemset the previous window published that the current one did not.
+	candidates := curT.borderCandidates(opts.MaxTargetSize)
+	for _, s := range prevT.sortedSets() {
+		if !curT.has(s) && s.Len() <= opts.MaxTargetSize {
+			candidates = append(candidates, s)
+		}
+	}
+
+	var pinned []pin
+	for _, j := range candidates {
+		if curT.has(j) {
+			continue
+		}
+		ivCur, err := lattice.Bounds(j, curT.lookup, curT.windowSize)
+		if err != nil {
+			continue
+		}
+		ivPrev := exactOrBounds(prevT, j)
+		dlo, dhi := -slide, slide
+		if prop != nil {
+			dlo, dhi = prop.deltaRange(j)
+		}
+		iv := ivCur.Intersect(ivPrev.Shift(dlo, dhi))
+		if iv.Tight() && !iv.Empty() {
+			curT.put(j, iv.Lo)
+			pinned = append(pinned, pin{j, iv.Lo})
+		}
+	}
+	if len(pinned) == 0 {
+		return nil
+	}
+	// New pins can make further bounds tight; finish with a completion pass.
+	completeTable(curT, opts)
+
+	var out []Inference
+	for _, p := range pinned {
+		if vulnerable(p.val, opts) {
+			out = append(out, Inference{
+				Pattern: itemset.NewPattern(p.set, itemset.New()),
+				I:       p.set,
+				J:       p.set,
+				Support: p.val,
+				Source:  Inter,
+			})
+		}
+	}
+	for _, inf := range deriveAll(curT, opts, Inter) {
+		if !baseKeys[inf.Pattern.Key()] {
+			out = append(out, inf)
+		}
+	}
+	return dedup(out)
+}
+
+func exactOrBounds(t *table, j itemset.Itemset) lattice.Interval {
+	if v, ok := t.lookup(j); ok {
+		return lattice.Interval{Lo: v, Hi: v}
+	}
+	iv, err := lattice.Bounds(j, t.lookup, t.windowSize)
+	if err != nil {
+		return lattice.Interval{Lo: 0, Hi: t.windowSize}
+	}
+	return iv
+}
+
+// transition holds the propagated membership bits of the leaving (out) and
+// entering (in) record for a window slide of one. Bit values: -1 unknown,
+// 0 absent, 1 present.
+type transition struct {
+	out map[itemset.Item]int8
+	in  map[itemset.Item]int8
+	// disjunction constraints: at least one item of the set has bit 0.
+	outZero []itemset.Itemset
+	inZero  []itemset.Itemset
+	// coupled itemsets with ΔT = 0: out-membership == in-membership.
+	coupled []itemset.Itemset
+}
+
+// propagateTransition derives what the published support deltas reveal about
+// the single leaving/entering record.
+func propagateTransition(prevT, curT *table) *transition {
+	tr := &transition{
+		out: map[itemset.Item]int8{},
+		in:  map[itemset.Item]int8{},
+	}
+	// Initialize every item appearing in either table as unknown.
+	seen := map[itemset.Item]bool{}
+	for _, t := range []*table{prevT, curT} {
+		for _, s := range t.sets {
+			for _, it := range s.Items() {
+				if !seen[it] {
+					seen[it] = true
+					tr.out[it] = -1
+					tr.in[it] = -1
+				}
+			}
+		}
+	}
+	// Seed constraints from itemsets with known support in both windows.
+	for k, s := range curT.sets {
+		pv, ok := prevT.vals[k]
+		if !ok {
+			continue
+		}
+		cv := curT.vals[k]
+		switch cv - pv {
+		case -1: // the leaving record contained s; the entering one did not
+			tr.setAll(tr.out, s)
+			tr.inZero = append(tr.inZero, s)
+		case 1:
+			tr.setAll(tr.in, s)
+			tr.outZero = append(tr.outZero, s)
+		case 0:
+			tr.coupled = append(tr.coupled, s)
+		default:
+			// |Δ| > 1 is impossible for a slide of one; the "published"
+			// values must be sanitized. Transition knowledge is then void.
+			return nil
+		}
+	}
+	tr.fixpoint()
+	return tr
+}
+
+// setAll forces every item bit of s to 1 in the given side.
+func (tr *transition) setAll(side map[itemset.Item]int8, s itemset.Itemset) {
+	for _, it := range s.Items() {
+		side[it] = 1
+	}
+}
+
+// conj evaluates the membership of itemset s on one side: 1 if every item
+// bit is 1, 0 if any bit is 0, -1 otherwise.
+func conj(side map[itemset.Item]int8, s itemset.Itemset) int8 {
+	all1 := true
+	for _, it := range s.Items() {
+		b, ok := side[it]
+		if !ok {
+			b = -1
+		}
+		switch b {
+		case 0:
+			return 0
+		case -1:
+			all1 = false
+		}
+	}
+	if all1 {
+		return 1
+	}
+	return -1
+}
+
+// fixpoint runs unit propagation over the disjunction and coupling
+// constraints until no bit changes.
+func (tr *transition) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		changed = tr.propZero(tr.out, tr.outZero) || changed
+		changed = tr.propZero(tr.in, tr.inZero) || changed
+		for _, s := range tr.coupled {
+			o, i := conj(tr.out, s), conj(tr.in, s)
+			if o == i {
+				continue
+			}
+			if o == 1 && i == -1 {
+				changed = tr.imposeConj(tr.in, s, 1) || changed
+			} else if i == 1 && o == -1 {
+				changed = tr.imposeConj(tr.out, s, 1) || changed
+			} else if o == 0 && i == -1 {
+				tr.inZero = append(tr.inZero, s)
+				changed = tr.propZero(tr.in, tr.inZero) || changed
+			} else if i == 0 && o == -1 {
+				tr.outZero = append(tr.outZero, s)
+				changed = tr.propZero(tr.out, tr.outZero) || changed
+			}
+		}
+	}
+}
+
+// propZero applies unit propagation to "some item bit is 0" constraints:
+// when all but one item is known 1 and one is unknown, that one must be 0.
+func (tr *transition) propZero(side map[itemset.Item]int8, cons []itemset.Itemset) bool {
+	changed := false
+	for _, s := range cons {
+		unknown := itemset.Item(-1)
+		nUnknown := 0
+		satisfied := false
+		for _, it := range s.Items() {
+			switch side[it] {
+			case 0:
+				satisfied = true
+			case -1:
+				unknown = it
+				nUnknown++
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if nUnknown == 1 {
+			side[unknown] = 0
+			changed = true
+		}
+		// nUnknown == 0 with no zero would be a contradiction; sanitized
+		// inputs can produce it, in which case the adversary's model is
+		// simply wrong and we leave the bits as they are.
+	}
+	return changed
+}
+
+// imposeConj forces conj(side, s) to the given value (only 1 is needed).
+func (tr *transition) imposeConj(side map[itemset.Item]int8, s itemset.Itemset, v int8) bool {
+	changed := false
+	if v == 1 {
+		for _, it := range s.Items() {
+			if side[it] != 1 {
+				side[it] = 1
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// deltaRange returns the possible range of ΔT(j) = T_cur(j) − T_prev(j)
+// implied by the propagated record bits.
+func (tr *transition) deltaRange(j itemset.Itemset) (lo, hi int) {
+	if tr == nil {
+		return -1, 1
+	}
+	o, i := conj(tr.out, j), conj(tr.in, j)
+	olo, ohi := bitRange(o)
+	ilo, ihi := bitRange(i)
+	return ilo - ohi, ihi - olo
+}
+
+func bitRange(b int8) (lo, hi int) {
+	switch b {
+	case 0:
+		return 0, 0
+	case 1:
+		return 1, 1
+	default:
+		return 0, 1
+	}
+}

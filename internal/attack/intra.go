@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"repro/internal/itemset"
+	"repro/internal/lattice"
+)
+
+// IntraWindow runs the single-window inference attack of §IV-B against a
+// published view. It first completes the table — computing non-derivable
+// bounds for border itemsets and adopting every tight bound as an exact
+// value, to a fixpoint — then derives the support of every pattern
+// I·¬(J\I) whose lattice is fully known. Findings are filtered to hard
+// vulnerable patterns (0 < support <= K) when opts.VulnSupport > 0.
+func IntraWindow(v *View, opts Options) []Inference {
+	opts = opts.withDefaults()
+	t := newTable(v)
+	pinned := completeTable(t, opts)
+	var out []Inference
+	// Pinned itemsets with vulnerable support are themselves breaches: an
+	// itemset is the pattern with an empty negative part.
+	for _, p := range pinned {
+		if vulnerable(p.val, opts) {
+			out = append(out, Inference{
+				Pattern: itemset.NewPattern(p.set, itemset.New()),
+				I:       p.set,
+				J:       p.set,
+				Support: p.val,
+				Source:  Intra,
+			})
+		}
+	}
+	out = append(out, deriveAll(t, opts, Intra)...)
+	return dedup(out)
+}
+
+type pin struct {
+	set itemset.Itemset
+	val int
+}
+
+// completeTable pins border itemsets whose bounds are tight, iterating to a
+// fixpoint (bounded by opts.MaxCompletionRounds). It returns the pins made.
+func completeTable(t *table, opts Options) []pin {
+	var pins []pin
+	for round := 0; round < opts.MaxCompletionRounds; round++ {
+		progress := false
+		for _, j := range t.borderCandidates(opts.MaxTargetSize) {
+			iv, err := lattice.Bounds(j, t.lookup, t.windowSize)
+			if err != nil {
+				continue
+			}
+			if iv.Tight() {
+				t.put(j, iv.Lo)
+				pins = append(pins, pin{j, iv.Lo})
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return pins
+}
+
+// deriveAll derives every pattern I·¬(J\I) with I and J\I non-empty whose
+// lattice X_I^J lies entirely in the table.
+func deriveAll(t *table, opts Options, src Source) []Inference {
+	var out []Inference
+	for _, j := range t.sortedSets() {
+		if j.Len() < 2 || j.Len() > opts.MaxTargetSize {
+			continue
+		}
+		j.ProperSubsets(func(i itemset.Itemset) bool {
+			sup, ok, err := lattice.DerivePattern(i, j, t.lookup)
+			if err != nil || !ok {
+				return true
+			}
+			if vulnerable(sup, opts) {
+				out = append(out, Inference{
+					Pattern: lattice.PatternOf(i, j),
+					I:       i,
+					J:       j,
+					Support: sup,
+					Source:  src,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func vulnerable(sup int, opts Options) bool {
+	if opts.VulnSupport <= 0 {
+		return true
+	}
+	return sup > 0 && sup <= opts.VulnSupport
+}
+
+func dedup(in []Inference) []Inference {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, inf := range in {
+		k := inf.Pattern.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, inf)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package bitset implements a fixed-capacity bitset used as a vertical
+// transaction-id bitmap by the miners: bit s is set when the transaction in
+// window slot s contains the itemset the bitmap belongs to. Itemset support
+// is then a popcount, and extending an itemset is a bitwise AND.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitset is a fixed-capacity set of bit positions [0, Cap). The zero value
+// is unusable; create with New.
+type Bitset struct {
+	words []uint64
+	cap   int
+}
+
+// New returns a Bitset able to hold bits [0, capacity).
+func New(capacity int) *Bitset {
+	if capacity < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{
+		words: make([]uint64, (capacity+63)/64),
+		cap:   capacity,
+	}
+}
+
+// Cap returns the capacity the set was created with.
+func (b *Bitset) Cap() int { return b.cap }
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.cap {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, b.cap))
+	}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	b.check(i)
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndCount returns the number of bits set in both b and other, without
+// allocating. Both sets must share the same capacity.
+func (b *Bitset) AndCount(other *Bitset) int {
+	b.mustMatch(other)
+	n := 0
+	for i, w := range b.words {
+		n += bits.OnesCount64(w & other.words[i])
+	}
+	return n
+}
+
+// And returns a new Bitset holding b ∩ other.
+func (b *Bitset) And(other *Bitset) *Bitset {
+	b.mustMatch(other)
+	out := New(b.cap)
+	for i, w := range b.words {
+		out.words[i] = w & other.words[i]
+	}
+	return out
+}
+
+// AndInto stores b ∩ other into dst (which must share the capacity) and
+// returns dst. dst may alias b or other.
+func (b *Bitset) AndInto(other, dst *Bitset) *Bitset {
+	b.mustMatch(other)
+	b.mustMatch(dst)
+	for i, w := range b.words {
+		dst.words[i] = w & other.words[i]
+	}
+	return dst
+}
+
+// Clone returns a copy of b.
+func (b *Bitset) Clone() *Bitset {
+	out := New(b.cap)
+	copy(out.words, b.words)
+	return out
+}
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for each set bit in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*64 + tz)
+			w &= w - 1
+		}
+	}
+}
+
+func (b *Bitset) mustMatch(other *Bitset) {
+	if other.cap != b.cap {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", b.cap, other.cap))
+	}
+}

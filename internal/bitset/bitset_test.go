@@ -1,0 +1,158 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	idxs := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idxs {
+		if b.Get(i) {
+			t.Errorf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != len(idxs) {
+		t.Errorf("Count = %d, want %d", b.Count(), len(idxs))
+	}
+	for _, i := range idxs {
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count = %d after clearing all", b.Count())
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Set(3)
+	if b.Count() != 1 {
+		t.Errorf("Count = %d after double Set", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, fn := range []func(b *Bitset){
+		func(b *Bitset) { b.Set(10) },
+		func(b *Bitset) { b.Get(-1) },
+		func(b *Bitset) { b.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestAndCountMatchesAnd(t *testing.T) {
+	f := func(aset, bset []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, i := range aset {
+			a.Set(int(i))
+		}
+		for _, i := range bset {
+			b.Set(int(i))
+		}
+		return a.AndCount(b) == a.And(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAndInto(t *testing.T) {
+	a, b, dst := New(100), New(100), New(100)
+	a.Set(1)
+	a.Set(2)
+	a.Set(99)
+	b.Set(2)
+	b.Set(99)
+	a.AndInto(b, dst)
+	if dst.Count() != 2 || !dst.Get(2) || !dst.Get(99) || dst.Get(1) {
+		t.Errorf("AndInto wrong: count=%d", dst.Count())
+	}
+	// Aliasing dst with receiver must work.
+	a.AndInto(b, a)
+	if a.Count() != 2 || a.Get(1) {
+		t.Error("AndInto aliased with receiver wrong")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch did not panic")
+		}
+	}()
+	New(64).AndCount(New(65))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(70)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Get(6) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Get(5) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func TestResetAndForEach(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Error("Reset left bits set")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	b := New(0)
+	if b.Count() != 0 {
+		t.Error("zero-capacity bitset non-empty")
+	}
+	b.ForEach(func(int) { t.Error("ForEach fired on empty set") })
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x, y := New(5000), New(5000)
+	for i := 0; i < 5000; i += 3 {
+		x.Set(i)
+	}
+	for i := 0; i < 5000; i += 7 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/mining/moment"
+	"repro/internal/rng"
+)
+
+// Stream is the end-to-end Butterfly pipeline of Fig. 1's last stage: an
+// incremental sliding-window miner feeding the output perturbation. Push
+// records as they arrive; Publish sanitized output whenever the application
+// wants a release.
+type Stream struct {
+	miner *moment.Miner
+	pub   *Publisher
+	// closedOnly publishes only closed frequent itemsets (what the Moment
+	// substrate natively maintains) instead of all frequent itemsets.
+	closedOnly bool
+}
+
+// StreamConfig configures a Stream.
+type StreamConfig struct {
+	// WindowSize is the sliding window H.
+	WindowSize int
+	// Params is the Butterfly calibration; Params.MinSupport doubles as the
+	// mining threshold C.
+	Params Params
+	// Scheme selects the bias setting; nil means Basic.
+	Scheme Scheme
+	// Seed drives the perturbation; equal seeds reproduce equal outputs.
+	Seed uint64
+	// ClosedOnly restricts publication to closed frequent itemsets.
+	ClosedOnly bool
+}
+
+// NewStream validates the configuration and assembles the pipeline.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.WindowSize <= 0 {
+		return nil, fmt.Errorf("core: window size %d must be positive", cfg.WindowSize)
+	}
+	pub, err := NewPublisher(cfg.Params, cfg.Scheme, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		miner:      moment.New(cfg.WindowSize, cfg.Params.MinSupport),
+		pub:        pub,
+		closedOnly: cfg.ClosedOnly,
+	}, nil
+}
+
+// Push appends one record to the stream, sliding the window when full.
+func (s *Stream) Push(rec itemset.Itemset) { s.miner.Push(rec) }
+
+// Ready reports whether the window has filled at least once.
+func (s *Stream) Ready() bool { return s.miner.Len() == s.miner.Capacity() }
+
+// Mine returns the current window's raw (unsanitized) mining result. It is
+// what a system WITHOUT output-privacy protection would release, and what
+// the evaluation uses as ground truth.
+func (s *Stream) Mine() *mining.Result {
+	if s.closedOnly {
+		return s.miner.Closed()
+	}
+	return s.miner.Frequent()
+}
+
+// Publish mines the current window and releases the sanitized output.
+func (s *Stream) Publish() (*Output, error) {
+	return s.pub.Publish(s.Mine(), s.miner.Capacity())
+}
+
+// Publisher exposes the underlying publisher (for diagnostics).
+func (s *Stream) Publisher() *Publisher { return s.pub }
+
+// Miner exposes the underlying incremental miner (for diagnostics).
+func (s *Stream) Miner() *moment.Miner { return s.miner }

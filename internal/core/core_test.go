@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+func TestNewStreamValidates(t *testing.T) {
+	if _, err := NewStream(StreamConfig{WindowSize: 0, Params: testParams()}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewStream(StreamConfig{WindowSize: 8, Params: Params{}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	p := Params{Epsilon: 0.25, Delta: 0.5, MinSupport: 4, VulnSupport: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(StreamConfig{
+		WindowSize: paperex.WindowSize,
+		Params:     p,
+		Scheme:     Hybrid{Lambda: 0.4},
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range paperex.Records() {
+		s.Push(rec)
+	}
+	if !s.Ready() {
+		t.Fatal("stream not ready after 12 records into window 8")
+	}
+	raw := s.Mine()
+	out, err := s.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != raw.Len() {
+		t.Fatalf("published %d itemsets, mined %d", out.Len(), raw.Len())
+	}
+	half := p.Alpha()/2 + p.MaxBias(1000) // generous envelope: bias + draw
+	for _, fi := range raw.Itemsets {
+		san, ok := out.Support(fi.Set)
+		if !ok {
+			t.Fatalf("%v missing from output", fi.Set)
+		}
+		if d := san - fi.Support; d > half || d < -half {
+			t.Errorf("%v sanitized offset %d outside envelope ±%d", fi.Set, d, half)
+		}
+	}
+}
+
+func TestStreamClosedOnly(t *testing.T) {
+	p := Params{Epsilon: 0.25, Delta: 0.5, MinSupport: 4, VulnSupport: 1}
+	mk := func(closed bool) int {
+		s, err := NewStream(StreamConfig{
+			WindowSize: paperex.WindowSize,
+			Params:     p,
+			Seed:       1,
+			ClosedOnly: closed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range paperex.Records() {
+			s.Push(rec)
+		}
+		return s.Mine().Len()
+	}
+	all, closed := mk(false), mk(true)
+	if closed > all {
+		t.Errorf("closed (%d) exceeds all frequent (%d)", closed, all)
+	}
+	if closed == 0 {
+		t.Error("no closed itemsets found")
+	}
+}
+
+func TestStreamPerturbationSanity(t *testing.T) {
+	// Across a long stream the sanitized output must track true supports
+	// within ε on average.
+	p := Params{Epsilon: 0.05, Delta: 0.5, MinSupport: 10, VulnSupport: 3}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(StreamConfig{WindowSize: 50, Params: p, Scheme: Basic{}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(123)
+	var sumSqRel float64
+	var count int
+	for i := 0; i < 500; i++ {
+		n := 1 + src.Intn(4)
+		items := make([]itemset.Item, 0, n)
+		for j := 0; j < n; j++ {
+			items = append(items, itemset.Item(src.Intn(8)))
+		}
+		s.Push(itemset.New(items...))
+		if !s.Ready() || i%10 != 0 {
+			continue
+		}
+		raw := s.Mine()
+		out, err := s.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fi := range raw.Itemsets {
+			san, _ := out.Support(fi.Set)
+			rel := float64(san-fi.Support) / float64(fi.Support)
+			sumSqRel += rel * rel
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no published itemsets")
+	}
+	if avg := sumSqRel / float64(count); avg > p.Epsilon {
+		t.Errorf("avg precision degradation %v exceeds ε=%v", avg, p.Epsilon)
+	}
+}

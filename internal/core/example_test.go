@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+// ExamplePublisher sanitizes one window's mining result: the published
+// supports are perturbed within the calibrated region, so exact values are
+// not reproducible in documentation — but their count and membership are.
+func ExamplePublisher() {
+	params := core.Params{Epsilon: 0.04, Delta: 0.4, MinSupport: 25, VulnSupport: 5}
+	pub, err := core.NewPublisher(params, core.Hybrid{Lambda: 0.4}, rng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	res := mining.NewResult(25, []mining.FrequentItemset{
+		{Set: itemset.New(0), Support: 120},
+		{Set: itemset.New(1), Support: 90},
+		{Set: itemset.New(0, 1), Support: 60},
+	})
+	out, err := pub.Publish(res, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("published itemsets:", out.Len())
+	san, _ := out.Support(itemset.New(0, 1))
+	fmt.Println("sanitized value within ±20% of 60:", san > 48 && san < 72)
+	// Output:
+	// published itemsets: 3
+	// sanitized value within ±20% of 60: true
+}
+
+// ExampleParams_Validate shows the feasibility rule ε/δ >= K²/(2C²).
+func ExampleParams_Validate() {
+	ok := core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5}
+	bad := core.Params{Epsilon: 0.001, Delta: 1.0, MinSupport: 25, VulnSupport: 20}
+	fmt.Println("paper defaults feasible:", ok.Validate() == nil)
+	fmt.Println("starved ppr feasible:", bad.Validate() == nil)
+	fmt.Printf("minimum ε/δ at C=25, K=5: %.3g\n", ok.MinPPR())
+	// Output:
+	// paper defaults feasible: true
+	// starved ppr feasible: false
+	// minimum ε/δ at C=25, K=5: 0.02
+}

@@ -1,0 +1,115 @@
+// Package core implements Butterfly, the output-privacy countermeasure of
+// the paper (Wang & Liu, ICDE 2008, §V–§VI): every published frequent-itemset
+// support is perturbed with a discrete-uniform random offset whose variance
+// is calibrated from the privacy requirement δ and whose bias is set — per
+// frequency equivalence class — by the basic, order-preserving,
+// ratio-preserving or hybrid scheme, subject to the precision requirement ε.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params carries the Butterfly calibration inputs.
+//
+// Epsilon (ε) caps the precision degradation of every published itemset:
+// E[(T̃(X) − T(X))²] / T(X)² ≤ ε. Delta (δ) floors the privacy guarantee of
+// every inferable vulnerable pattern p: Var[T̂(p)] / T(p)² ≥ δ. MinSupport is
+// the mining threshold C and VulnSupport the vulnerability threshold K
+// (patterns with support in (0, K] are the ones to protect; K < C).
+type Params struct {
+	Epsilon     float64
+	Delta       float64
+	MinSupport  int
+	VulnSupport int
+}
+
+// Validate checks the parameters for internal consistency and feasibility.
+// Feasibility follows §V-D: the variance needed for δ must leave the
+// precision budget ε intact at the smallest possible support C, which
+// requires ε/δ ≥ K²/(2C²) (the minimum precision-privacy ratio) — tightened
+// here to account for the integer uncertainty region actually used.
+func (p Params) Validate() error {
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("core: epsilon %v must be positive", p.Epsilon)
+	}
+	if p.Delta <= 0 {
+		return fmt.Errorf("core: delta %v must be positive", p.Delta)
+	}
+	if p.VulnSupport < 1 {
+		return fmt.Errorf("core: vulnerable support K=%d must be >= 1", p.VulnSupport)
+	}
+	if p.MinSupport <= p.VulnSupport {
+		return fmt.Errorf("core: minimum support C=%d must exceed vulnerable support K=%d",
+			p.MinSupport, p.VulnSupport)
+	}
+	minPPR := float64(p.VulnSupport*p.VulnSupport) / (2 * float64(p.MinSupport*p.MinSupport))
+	if p.Epsilon/p.Delta < minPPR {
+		return fmt.Errorf("core: precision-privacy ratio ε/δ = %v below minimum K²/(2C²) = %v",
+			p.Epsilon/p.Delta, minPPR)
+	}
+	// The integer uncertainty region inflates σ² slightly above δK²/2; the
+	// precision constraint must still admit a (possibly zero) bias at T = C.
+	if s2 := p.Sigma2(); s2 > p.Epsilon*float64(p.MinSupport*p.MinSupport) {
+		return fmt.Errorf("core: integer uncertainty region variance %v exceeds precision budget εC² = %v; increase ε or C",
+			s2, p.Epsilon*float64(p.MinSupport*p.MinSupport))
+	}
+	return nil
+}
+
+// Alpha returns the length α of the discrete-uniform uncertainty region
+// [−α/2, α/2] around the bias: the smallest even integer whose variance
+// ((α+1)²−1)/12 meets the privacy floor δK²/2 (σ² ≥ δK²/2, Inequation 2 of
+// the paper). Even α keeps the region symmetric around an integer bias so
+// the perturbation has exactly the configured bias.
+func (p Params) Alpha() int {
+	need := 1 + 6*p.Delta*float64(p.VulnSupport*p.VulnSupport)
+	a := int(math.Ceil(math.Sqrt(need))) - 1
+	if a < 0 {
+		a = 0
+	}
+	if a%2 == 1 {
+		a++
+	}
+	return a
+}
+
+// Sigma2 returns the actual perturbation variance σ² = ((α+1)²−1)/12 of the
+// integer uncertainty region. It is at least δK²/2.
+func (p Params) Sigma2() float64 {
+	a := float64(p.Alpha())
+	return ((a+1)*(a+1) - 1) / 12
+}
+
+// MaxBias returns the maximum adjustable bias β^m for a FEC with support t
+// (Definition 7): the largest integer bias that keeps the precision
+// constraint σ² + β² ≤ ε·t² intact, using the actual region variance.
+func (p Params) MaxBias(t int) int {
+	budget := p.Epsilon*float64(t)*float64(t) - p.Sigma2()
+	if budget <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Sqrt(budget)))
+}
+
+// MinPPR returns the theoretical minimum precision-privacy ratio K²/(2C²)
+// for these thresholds (§V-D); ε/δ below it is infeasible.
+func (p Params) MinPPR() float64 {
+	return float64(p.VulnSupport*p.VulnSupport) / (2 * float64(p.MinSupport*p.MinSupport))
+}
+
+// PrivacyFloor returns the guaranteed lower bound 2σ²/K² on the relative
+// estimation error of any inferred vulnerable pattern (P2 in §V-D): every
+// inference combines at least two perturbed itemsets, and T(p) ≤ K.
+func (p Params) PrivacyFloor() float64 {
+	return 2 * p.Sigma2() / float64(p.VulnSupport*p.VulnSupport)
+}
+
+// PrecisionCeiling returns the guaranteed upper bound (σ² + βmax²)/C² on
+// the precision degradation of any published itemset when biases respect
+// MaxBias (P1 in §V-D, evaluated at the worst case T = C, β = MaxBias(C)).
+func (p Params) PrecisionCeiling() float64 {
+	b := float64(p.MaxBias(p.MinSupport))
+	return (p.Sigma2() + b*b) / float64(p.MinSupport*p.MinSupport)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Paper defaults: C=25, K=5.
+func paperParams(eps, delta float64) Params {
+	return Params{Epsilon: eps, Delta: delta, MinSupport: 25, VulnSupport: 5}
+}
+
+func TestValidateAcceptsPaperDefaults(t *testing.T) {
+	// Fig. 4 fixes ε/δ = 0.04 with δ up to 1.0.
+	for _, delta := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		p := paperParams(0.04*delta, delta)
+		if err := p.Validate(); err != nil {
+			t.Errorf("δ=%v: %v", delta, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"zero epsilon", Params{Epsilon: 0, Delta: 0.4, MinSupport: 25, VulnSupport: 5}},
+		{"zero delta", Params{Epsilon: 0.01, Delta: 0, MinSupport: 25, VulnSupport: 5}},
+		{"K >= C", Params{Epsilon: 0.01, Delta: 0.4, MinSupport: 5, VulnSupport: 5}},
+		{"zero K", Params{Epsilon: 0.01, Delta: 0.4, MinSupport: 25, VulnSupport: 0}},
+		{"ppr below minimum", Params{Epsilon: 0.001, Delta: 1.0, MinSupport: 25, VulnSupport: 20}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.p)
+		}
+	}
+}
+
+func TestAlphaMeetsPrivacyFloor(t *testing.T) {
+	f := func(d10 uint8, k8 uint8) bool {
+		delta := 0.05 + float64(d10%20)*0.05 // 0.05..1.0
+		k := 1 + int(k8%10)
+		p := Params{Epsilon: 1, Delta: delta, MinSupport: 10 * k, VulnSupport: k}
+		a := p.Alpha()
+		if a%2 != 0 || a < 0 {
+			return false
+		}
+		// σ² from α must meet δK²/2, and α−2 must not (minimality).
+		// Tolerate one ULP of float noise between the two derivations.
+		need := delta * float64(k*k) / 2
+		if p.Sigma2() < need*(1-1e-9) {
+			return false
+		}
+		if a >= 2 {
+			// The next smaller even region (α−2) must not have sufficed.
+			prev := float64(a - 1) // its region has (α−2)+1 = α−1 values
+			if (prev*prev-1)/12 >= need*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigma2MatchesRegion(t *testing.T) {
+	p := paperParams(0.016, 0.4)
+	a := float64(p.Alpha())
+	want := ((a+1)*(a+1) - 1) / 12
+	if p.Sigma2() != want {
+		t.Errorf("Sigma2 = %v, want %v", p.Sigma2(), want)
+	}
+	if p.Sigma2() < p.Delta*float64(p.VulnSupport*p.VulnSupport)/2 {
+		t.Error("Sigma2 below privacy requirement")
+	}
+}
+
+func TestMaxBiasRespectsPrecision(t *testing.T) {
+	p := paperParams(0.016, 0.4)
+	for _, tsup := range []int{25, 30, 50, 100, 1000} {
+		b := float64(p.MaxBias(tsup))
+		if p.Sigma2()+b*b > p.Epsilon*float64(tsup)*float64(tsup)+1e-9 {
+			t.Errorf("MaxBias(%d) = %v violates σ²+β² <= εt²", tsup, b)
+		}
+		// Maximality: b+1 must violate.
+		b1 := b + 1
+		if p.Sigma2()+b1*b1 <= p.Epsilon*float64(tsup)*float64(tsup) {
+			t.Errorf("MaxBias(%d) = %v not maximal", tsup, b)
+		}
+	}
+}
+
+func TestMaxBiasZeroWhenNoBudget(t *testing.T) {
+	// ε t² barely above σ² at t=C leaves no room at all.
+	p := paperParams(0.016, 0.4)
+	if got := p.MaxBias(0); got != 0 {
+		t.Errorf("MaxBias(0) = %d", got)
+	}
+}
+
+func TestMaxBiasMonotoneInSupport(t *testing.T) {
+	p := paperParams(0.02, 0.5)
+	prev := -1
+	for tsup := 25; tsup <= 500; tsup += 25 {
+		b := p.MaxBias(tsup)
+		if b < prev {
+			t.Fatalf("MaxBias not monotone: MaxBias(%d)=%d after %d", tsup, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestMinPPR(t *testing.T) {
+	p := paperParams(0.016, 0.4)
+	want := 25.0 / (2 * 625.0)
+	if math.Abs(p.MinPPR()-want) > 1e-12 {
+		t.Errorf("MinPPR = %v, want %v", p.MinPPR(), want)
+	}
+}
+
+func TestPrivacyFloorAtLeastDelta(t *testing.T) {
+	// 2σ²/K² >= δ because σ² >= δK²/2.
+	for _, delta := range []float64{0.2, 0.5, 1.0} {
+		p := paperParams(0.04*delta, delta)
+		if p.PrivacyFloor() < delta {
+			t.Errorf("PrivacyFloor %v < δ %v", p.PrivacyFloor(), delta)
+		}
+	}
+}
+
+func TestPrecisionCeilingAtMostEpsilon(t *testing.T) {
+	for _, eps := range []float64{0.008, 0.016, 0.04} {
+		p := paperParams(eps, eps/0.04)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ε=%v: %v", eps, err)
+		}
+		if c := p.PrecisionCeiling(); c > eps+1e-9 {
+			t.Errorf("PrecisionCeiling %v > ε %v", c, eps)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fec"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+// PublishedItemset is one sanitized entry of the released mining output.
+type PublishedItemset struct {
+	Set itemset.Itemset
+	// Support is the sanitized support T̃(X) = T(X) + β + r.
+	Support int
+}
+
+// Output is the sanitized mining output of one window — what leaves the
+// system. It deliberately carries no true supports.
+type Output struct {
+	// WindowSize is H; the sliding-window protocol makes it public.
+	WindowSize int
+	// Items are the published itemsets, sorted by descending sanitized
+	// support (ties by size then key), the order a mining frontend displays.
+	Items []PublishedItemset
+
+	byKey map[string]int
+}
+
+// Support returns the published support of s.
+func (o *Output) Support(s itemset.Itemset) (int, bool) {
+	v, ok := o.byKey[s.Key()]
+	return v, ok
+}
+
+// Len returns the number of published itemsets.
+func (o *Output) Len() int { return len(o.Items) }
+
+// NewRawOutput packages an unsanitized mining result in the Output format —
+// what a system WITHOUT output-privacy protection releases. It exists for
+// audits and side-by-side comparisons; production publication goes through
+// Publisher.Publish.
+func NewRawOutput(res *mining.Result, windowSize int) *Output {
+	out := &Output{
+		WindowSize: windowSize,
+		Items:      make([]PublishedItemset, 0, res.Len()),
+		byKey:      make(map[string]int, res.Len()),
+	}
+	for _, fi := range res.Itemsets {
+		out.Items = append(out.Items, PublishedItemset{Set: fi.Set, Support: fi.Support})
+		out.byKey[fi.Set.Key()] = fi.Support
+	}
+	return out
+}
+
+// Publisher perturbs mining results window after window. It owns the
+// consistent-republication cache that blocks the averaging attack of Prior
+// Knowledge 2 (§V-C): as long as an itemset's true support is unchanged
+// between consecutive windows, the previously published sanitized value is
+// republished verbatim instead of being redrawn.
+//
+// Publisher is not safe for concurrent use.
+type Publisher struct {
+	params Params
+	scheme Scheme
+	src    *rng.Source
+
+	cache         map[string]cacheEntry
+	cacheDisabled bool
+	maxCacheAge   int
+	window        int
+
+	// Incremental bias reuse (the paper's §VII "incremental version"
+	// future work): when consecutive windows produce the same FEC ladder —
+	// the same (support, class-size) sequence — the bias optimization would
+	// recompute the identical answer, so the previous biases are reused.
+	lastLadder []ladderRung
+	lastBiases []int
+	biasReuses int
+
+	optDur     time.Duration
+	perturbDur time.Duration
+}
+
+type ladderRung struct {
+	support int
+	size    int
+}
+
+type cacheEntry struct {
+	trueSupport int
+	sanitized   int
+	lastSeen    int
+}
+
+// NewPublisher validates the parameters and returns a Publisher using the
+// given scheme and random source. A nil scheme defaults to Basic; a nil
+// source panics (reproducibility is a requirement, not an option).
+func NewPublisher(p Params, scheme Scheme, src *rng.Source) (*Publisher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if scheme == nil {
+		scheme = Basic{}
+	}
+	if src == nil {
+		panic("core: NewPublisher requires a random source")
+	}
+	return &Publisher{
+		params:      p,
+		scheme:      scheme,
+		src:         src,
+		cache:       map[string]cacheEntry{},
+		maxCacheAge: 64,
+	}, nil
+}
+
+// Params returns the calibration the publisher was built with.
+func (pub *Publisher) Params() Params { return pub.params }
+
+// Scheme returns the active bias-setting scheme.
+func (pub *Publisher) Scheme() Scheme { return pub.scheme }
+
+// Publish sanitizes one window's mining result. windowSize is H (used for
+// the public output header; it may exceed res's record count during stream
+// warm-up).
+func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, error) {
+	if res == nil {
+		return nil, fmt.Errorf("core: nil mining result")
+	}
+	pub.window++
+	classes := fec.Partition(res)
+	t0 := time.Now()
+	biases := pub.biasesFor(classes)
+	pub.optDur += time.Since(t0)
+	t0 = time.Now()
+	defer func() { pub.perturbDur += time.Since(t0) }()
+	if len(biases) != len(classes) {
+		return nil, fmt.Errorf("core: scheme %s returned %d biases for %d classes",
+			pub.scheme.Name(), len(biases), len(classes))
+	}
+	alpha := pub.params.Alpha()
+	half := alpha / 2
+
+	out := &Output{
+		WindowSize: windowSize,
+		Items:      make([]PublishedItemset, 0, fec.TotalMembers(classes)),
+		byKey:      make(map[string]int, fec.TotalMembers(classes)),
+	}
+	for ci, class := range classes {
+		// One shared draw per FEC keeps intra-class equality (optimized
+		// schemes); the basic scheme redraws per itemset.
+		sharedOffset := biases[ci] + pub.src.IntRange(-half, half)
+		for _, member := range class.Members {
+			key := member.Key()
+			var sanitized int
+			if e, ok := pub.cache[key]; ok && !pub.cacheDisabled && e.trueSupport == class.Support {
+				sanitized = e.sanitized
+			} else if pub.scheme.SharedDraws() {
+				sanitized = class.Support + sharedOffset
+			} else {
+				sanitized = class.Support + biases[ci] + pub.src.IntRange(-half, half)
+			}
+			pub.cache[key] = cacheEntry{
+				trueSupport: class.Support,
+				sanitized:   sanitized,
+				lastSeen:    pub.window,
+			}
+			out.Items = append(out.Items, PublishedItemset{Set: member, Support: sanitized})
+			out.byKey[key] = sanitized
+		}
+	}
+	sort.Slice(out.Items, func(i, j int) bool {
+		a, b := out.Items[i], out.Items[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Set.Len() != b.Set.Len() {
+			return a.Set.Len() < b.Set.Len()
+		}
+		return a.Set.Key() < b.Set.Key()
+	})
+	pub.sweepCache()
+	return out, nil
+}
+
+// biasesFor computes (or reuses) the per-class biases. The bias of a class
+// depends only on its support and size plus its neighbours' (all schemes are
+// functions of the FEC ladder), so when the ladder repeats between windows —
+// the common case under a slide of one record — the previous result is
+// returned without re-running the optimization.
+func (pub *Publisher) biasesFor(classes []fec.Class) []int {
+	ladder := make([]ladderRung, len(classes))
+	for i, c := range classes {
+		ladder[i] = ladderRung{support: c.Support, size: c.Size()}
+	}
+	if pub.lastBiases != nil && sameLadder(ladder, pub.lastLadder) {
+		pub.biasReuses++
+		return pub.lastBiases
+	}
+	biases := pub.scheme.Biases(classes, pub.params)
+	pub.lastLadder = ladder
+	pub.lastBiases = biases
+	return biases
+}
+
+func sameLadder(a, b []ladderRung) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BiasReuses reports how many Publish calls reused the previous window's
+// bias optimization (diagnostics for the incremental path).
+func (pub *Publisher) BiasReuses() int { return pub.biasReuses }
+
+// sweepCache evicts entries for itemsets that have not been published
+// recently, bounding memory on long streams without re-randomizing values
+// that reappear quickly with unchanged support.
+func (pub *Publisher) sweepCache() {
+	if pub.window%16 != 0 {
+		return
+	}
+	for k, e := range pub.cache {
+		if pub.window-e.lastSeen > pub.maxCacheAge {
+			delete(pub.cache, k)
+		}
+	}
+}
+
+// CacheLen reports the number of live republication-cache entries
+// (diagnostics and tests).
+func (pub *Publisher) CacheLen() int { return len(pub.cache) }
+
+// SetRepublicationCache enables or disables consistent republication
+// (enabled by default). Disabling it redraws the perturbation every window
+// even for unchanged supports — DELIBERATELY INSECURE: it re-opens the
+// averaging attack of Prior Knowledge 2 and exists only so experiments and
+// tests can demonstrate that attack.
+func (pub *Publisher) SetRepublicationCache(enabled bool) {
+	pub.cacheDisabled = !enabled
+}
+
+// Timing reports the cumulative time spent in bias optimization (the "Opt"
+// cost of the paper's Fig. 8) and in the perturbation/publication itself
+// (the "Basic" cost), across all Publish calls so far.
+func (pub *Publisher) Timing() (opt, perturb time.Duration) {
+	return pub.optDur, pub.perturbDur
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fec"
+)
+
+// Scheme assigns a perturbation bias to each frequency equivalence class.
+// Implementations must return one bias per class, respecting |β_i| <=
+// p.MaxBias(t_i); classes arrive in ascending support order as produced by
+// fec.Partition.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Biases computes the per-class biases.
+	Biases(classes []fec.Class, p Params) []int
+	// SharedDraws reports whether all members of a FEC share one random
+	// draw (the optimized schemes) or each itemset is perturbed
+	// independently (the basic scheme).
+	SharedDraws() bool
+}
+
+// Basic is the basic Butterfly approach of §V-C: zero bias everywhere
+// (minimum precision-privacy ratio) and an independent draw per itemset.
+type Basic struct{}
+
+// Name implements Scheme.
+func (Basic) Name() string { return "basic" }
+
+// SharedDraws implements Scheme: the basic scheme perturbs each itemset
+// independently.
+func (Basic) SharedDraws() bool { return false }
+
+// Biases implements Scheme: all zeros.
+func (Basic) Biases(classes []fec.Class, _ Params) []int {
+	return make([]int, len(classes))
+}
+
+// RatioPreserving is the bottom-up bias setting of Algorithm 2 (§VI-B):
+// the smallest class takes its maximum adjustable bias and every other
+// class scales it in proportion to its support, which maximizes the
+// Markov-bound proxy of every pairwise (k,1/k) ratio probability. Lemma 3
+// guarantees the scaled biases stay within their own maximum adjustable
+// bias; rounding is clamped defensively anyway.
+type RatioPreserving struct{}
+
+// Name implements Scheme.
+func (RatioPreserving) Name() string { return "ratio-preserving" }
+
+// SharedDraws implements Scheme.
+func (RatioPreserving) SharedDraws() bool { return true }
+
+// Biases implements Scheme.
+func (RatioPreserving) Biases(classes []fec.Class, p Params) []int {
+	out := make([]int, len(classes))
+	if len(classes) == 0 {
+		return out
+	}
+	t1 := classes[0].Support
+	b1 := p.MaxBias(t1)
+	for i, c := range classes {
+		b := int(math.Round(float64(b1) * float64(c.Support) / float64(t1)))
+		if m := p.MaxBias(c.Support); b > m {
+			b = m
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// OrderPreserving is the dynamic-programming bias setting of Algorithm 1
+// (§VI-A): choose biases minimizing the weighted sum of pairwise inversion
+// costs Σ_{i<j} (s_i+s_j)(α+1−d_ij)² over overlapping uncertainty regions,
+// subject to strictly increasing perturbation estimators e_i = t_i + β_i.
+// Each class interacts only with its γ predecessors (the paper's lookback
+// approximation); candidate biases are drawn from a grid of at most
+// GridSize values per class to bound the DP state space.
+type OrderPreserving struct {
+	// Gamma is the DP lookback depth γ. Zero means the default of 2, the
+	// knee of the quality/cost curve in the paper's Fig. 6; a negative
+	// value means a true γ of 0 (no pairwise terms at all, degenerating to
+	// zero biases — the Fig. 6 sweep's leftmost point).
+	Gamma int
+	// GridSize caps the candidate biases per class (0 means default 13).
+	// The grid always contains −β^m, 0 and β^m.
+	GridSize int
+	// MaxStates beam-bounds the DP: after each class, only the cheapest
+	// MaxStates states survive (0 means default 4096). The bound bites only
+	// at large γ, where the exact state space GridSize^γ explodes; the
+	// paper's own γ-truncation already accepts near-optimality there.
+	MaxStates int
+}
+
+// Name implements Scheme.
+func (s OrderPreserving) Name() string { return fmt.Sprintf("order-preserving(γ=%d)", s.gamma()) }
+
+// SharedDraws implements Scheme.
+func (OrderPreserving) SharedDraws() bool { return true }
+
+func (s OrderPreserving) gamma() int {
+	if s.Gamma < 0 {
+		return 0
+	}
+	if s.Gamma == 0 {
+		return 2
+	}
+	return s.Gamma
+}
+
+func (s OrderPreserving) maxStates() int {
+	if s.MaxStates <= 0 {
+		return 4096
+	}
+	return s.MaxStates
+}
+
+func (s OrderPreserving) gridSize() int {
+	if s.GridSize <= 0 {
+		return 13
+	}
+	if s.GridSize < 3 {
+		return 3
+	}
+	return s.GridSize
+}
+
+// candidates returns the bias grid for one class: every integer in
+// [−β^m, β^m] when that is small, otherwise an even sampling that always
+// includes the endpoints and zero.
+func (s OrderPreserving) candidates(p Params, t int) []int {
+	bm := p.MaxBias(t)
+	m := s.gridSize()
+	if 2*bm+1 <= m {
+		out := make([]int, 0, 2*bm+1)
+		for b := -bm; b <= bm; b++ {
+			out = append(out, b)
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, m+1)
+	add := func(b int) {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	step := 2 * float64(bm) / float64(m-1)
+	for k := 0; k < m; k++ {
+		add(int(math.Round(-float64(bm) + float64(k)*step)))
+	}
+	add(0)
+	// Keep the grid sorted after the possible append of 0.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Biases implements Scheme via the γ-lookback dynamic program.
+func (s OrderPreserving) Biases(classes []fec.Class, p Params) []int {
+	n := len(classes)
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	gamma := s.gamma()
+	if gamma == 0 {
+		return out // no pairwise terms: the zero-bias assignment is optimal
+	}
+	alpha := p.Alpha()
+
+	cands := make([][]int, n)
+	for i, c := range classes {
+		cands[i] = s.candidates(p, c.Support)
+	}
+
+	// cost of the (j, i) pair (j < i) given their biases.
+	pairCost := func(j, i, bj, bi int) float64 {
+		d := (classes[i].Support + bi) - (classes[j].Support + bj)
+		if d >= alpha+1 {
+			return 0
+		}
+		w := float64(classes[j].Size() + classes[i].Size())
+		gap := float64(alpha + 1 - d)
+		return w * gap * gap
+	}
+
+	// DP over states: the candidate indices of the most recent min(γ, i+1)
+	// classes, encoded base-maxGrid.
+	maxGrid := 0
+	for _, c := range cands {
+		if len(c) > maxGrid {
+			maxGrid = len(c)
+		}
+	}
+	encode := func(idxs []int) uint64 {
+		var k uint64
+		for _, v := range idxs {
+			k = k*uint64(maxGrid) + uint64(v)
+		}
+		return k
+	}
+
+	type entry struct {
+		cost float64
+		prev uint64 // predecessor state key
+		ok   bool
+	}
+	// states[i] maps the state after choosing class i's bias.
+	states := make([]map[uint64]entry, n)
+
+	states[0] = map[uint64]entry{}
+	for ci := range cands[0] {
+		states[0][encode([]int{ci})] = entry{cost: 0, ok: true}
+	}
+
+	// Map iteration order is randomized; DP must process states in a fixed
+	// order so equal-cost ties resolve identically across runs.
+	sortedKeys := func(m map[uint64]entry) []uint64 {
+		keys := make([]uint64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		return keys
+	}
+
+	for i := 1; i < n; i++ {
+		states[i] = map[uint64]entry{}
+		span := min(gamma, i) // classes i-span..i-1 are in the predecessor state
+		for _, key := range sortedKeys(states[i-1]) {
+			ent := states[i-1][key]
+			idxs := decode(key, min(gamma, i), maxGrid)
+			// idxs holds candidate indices of classes i-span..i-1.
+			lastIdx := idxs[len(idxs)-1]
+			eprev := classes[i-1].Support + cands[i-1][lastIdx]
+			for ci, bi := range cands[i] {
+				if classes[i].Support+bi <= eprev {
+					continue // estimator order violated
+				}
+				add := 0.0
+				for off, cj := range idxs {
+					j := i - span + off
+					add += pairCost(j, i, cands[j][cj], bi)
+				}
+				// Pairs farther than γ back are treated as non-overlapping.
+				nidxs := append(append([]int{}, idxs...), ci)
+				if len(nidxs) > gamma {
+					nidxs = nidxs[1:]
+				}
+				nkey := encode(nidxs)
+				cand := entry{cost: ent.cost + add, prev: key, ok: true}
+				if cur, ok := states[i][nkey]; !ok || cand.cost < cur.cost {
+					states[i][nkey] = cand
+				}
+			}
+		}
+		if len(states[i]) == 0 {
+			// Cannot happen: the all-zero-bias chain is always feasible
+			// because class supports are strictly increasing. Guard anyway.
+			zero := indexOf(cands[i], 0)
+			states[i][encode([]int{zero})] = entry{ok: true}
+		}
+		// Beam bound: keep only the cheapest states so large γ stays
+		// tractable (GridSize^γ states otherwise).
+		if beam := s.maxStates(); len(states[i]) > beam {
+			keys := sortedKeys(states[i])
+			sort.Slice(keys, func(a, b int) bool {
+				ca, cb := states[i][keys[a]].cost, states[i][keys[b]].cost
+				if ca != cb {
+					return ca < cb
+				}
+				return keys[a] < keys[b]
+			})
+			for _, k := range keys[beam:] {
+				delete(states[i], k)
+			}
+		}
+	}
+
+	// Pick the cheapest final state (first in key order on ties) and
+	// backtrack.
+	var bestKey uint64
+	best := math.Inf(1)
+	for _, key := range sortedKeys(states[n-1]) {
+		if ent := states[n-1][key]; ent.cost < best {
+			best = ent.cost
+			bestKey = key
+		}
+	}
+	key := bestKey
+	for i := n - 1; i >= 0; i-- {
+		idxs := decode(key, min(gamma, i+1), maxGrid)
+		out[i] = cands[i][idxs[len(idxs)-1]]
+		key = states[i][key].prev
+	}
+	return out
+}
+
+func decode(key uint64, length, base int) []int {
+	out := make([]int, length)
+	for i := length - 1; i >= 0; i-- {
+		out[i] = int(key % uint64(base))
+		key /= uint64(base)
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// Hybrid combines the order- and ratio-preserving biases linearly
+// (§VI-C): β = λ·β_OP + (1−λ)·β_RP. λ=1 reduces to order preservation,
+// λ=0 to ratio preservation; the paper finds λ≈0.4 a good overall balance.
+type Hybrid struct {
+	// Lambda weights order preservation; must lie in [0, 1].
+	Lambda float64
+	// Order configures the embedded order-preserving DP.
+	Order OrderPreserving
+}
+
+// Name implements Scheme.
+func (h Hybrid) Name() string { return fmt.Sprintf("hybrid(λ=%.2g)", h.Lambda) }
+
+// SharedDraws implements Scheme.
+func (Hybrid) SharedDraws() bool { return true }
+
+// Biases implements Scheme.
+func (h Hybrid) Biases(classes []fec.Class, p Params) []int {
+	if h.Lambda < 0 || h.Lambda > 1 {
+		panic(fmt.Sprintf("core: hybrid λ=%v outside [0,1]", h.Lambda))
+	}
+	op := h.Order.Biases(classes, p)
+	rp := RatioPreserving{}.Biases(classes, p)
+	out := make([]int, len(classes))
+	for i := range out {
+		b := int(math.Round(h.Lambda*float64(op[i]) + (1-h.Lambda)*float64(rp[i])))
+		if m := p.MaxBias(classes[i].Support); b > m {
+			b = m
+		} else if b < -m {
+			b = -m
+		}
+		out[i] = b
+	}
+	return out
+}

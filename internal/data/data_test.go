@@ -1,0 +1,194 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+func TestQuestConfigValidation(t *testing.T) {
+	cases := []QuestConfig{
+		{Items: 0, AvgTransactionLen: 2},
+		{Items: 10, AvgTransactionLen: 0},
+		{Items: 10, AvgTransactionLen: 2, AvgPatternLen: 0.5},
+		{Items: 10, AvgTransactionLen: 2, NumPatterns: -1},
+		{Items: 10, AvgTransactionLen: 2, CorruptionMean: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := NewQuest(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := WebViewLike(42).Generate(100)
+	b := WebViewLike(42).Generate(100)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at transaction %d", i)
+		}
+	}
+	c := WebViewLike(43).Generate(100)
+	same := 0
+	for i := range a {
+		if a[i].Equal(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTransactionsNonEmptyAndInUniverse(t *testing.T) {
+	g, err := NewQuest(QuestConfig{Items: 50, AvgTransactionLen: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range g.Generate(2000) {
+		if tx.Empty() {
+			t.Fatal("empty transaction")
+		}
+		for _, it := range tx.Items() {
+			if it < 0 || int(it) >= 50 {
+				t.Fatalf("item %d outside universe", it)
+			}
+		}
+	}
+}
+
+func TestWebViewProfile(t *testing.T) {
+	g := WebViewLike(1)
+	txs := g.Generate(20000)
+	var totalLen int
+	maxItem := itemset.Item(0)
+	for _, tx := range txs {
+		totalLen += tx.Len()
+		for _, it := range tx.Items() {
+			if it > maxItem {
+				maxItem = it
+			}
+		}
+	}
+	mean := float64(totalLen) / float64(len(txs))
+	if math.Abs(mean-2.5) > 0.8 {
+		t.Errorf("mean transaction length = %v, want ≈ 2.5", mean)
+	}
+	if int(maxItem) >= 497 {
+		t.Errorf("item %d outside WebView universe", maxItem)
+	}
+}
+
+func TestPOSProfile(t *testing.T) {
+	g := POSLike(1)
+	txs := g.Generate(20000)
+	var totalLen int
+	for _, tx := range txs {
+		totalLen += tx.Len()
+	}
+	mean := float64(totalLen) / float64(len(txs))
+	if math.Abs(mean-6.5) > 1.5 {
+		t.Errorf("mean transaction length = %v, want ≈ 6.5", mean)
+	}
+}
+
+// The streams must exhibit a heavy-headed popularity distribution: the most
+// popular item should be dramatically more frequent than the median item.
+func TestZipfHead(t *testing.T) {
+	g := WebViewLike(3)
+	db := itemset.NewDatabase(g.Generate(10000))
+	counts := db.ItemSupports()
+	maxCount := 0
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Median via partial sort.
+	med := median(all)
+	if maxCount < 10*med {
+		t.Errorf("popularity head too flat: max %d vs median %d", maxCount, med)
+	}
+}
+
+func median(xs []int) int {
+	// Insertion sort; test-scale input.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs[len(xs)/2]
+}
+
+// The paper mines at C=25 over H=2000 windows: the generated streams must
+// yield a non-trivial set of frequent itemsets (including itemsets of size
+// >= 2, the ones inference attacks need) at those parameters.
+func TestMineableAtPaperThresholds(t *testing.T) {
+	for name, g := range map[string]*Generator{
+		"webview": WebViewLike(11),
+		"pos":     POSLike(11),
+	} {
+		db := itemset.NewDatabase(g.Generate(2000))
+		res, err := mining.Eclat(db, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() < 30 {
+			t.Errorf("%s: only %d frequent itemsets at C=25, H=2000", name, res.Len())
+		}
+		big := 0
+		for _, fi := range res.Itemsets {
+			if fi.Set.Len() >= 2 {
+				big++
+			}
+		}
+		if big < 5 {
+			t.Errorf("%s: only %d frequent itemsets of size >= 2", name, big)
+		}
+	}
+}
+
+// Planted patterns co-occur: some pattern of size >= 2 should be frequent,
+// demonstrating the correlation structure QUEST is meant to produce.
+func TestPlantedPatternsCoOccur(t *testing.T) {
+	g, err := NewQuest(QuestConfig{
+		Items: 100, AvgTransactionLen: 4, AvgPatternLen: 3,
+		NumPatterns: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := itemset.NewDatabase(g.Generate(3000))
+	found := false
+	for _, p := range g.Patterns() {
+		if p.Len() >= 2 && db.Support(p) >= 30 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no planted multi-item pattern reaches support 30 in 3000 transactions")
+	}
+}
+
+func BenchmarkGenerateWebView(b *testing.B) {
+	g := WebViewLike(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkGeneratePOS(b *testing.B) {
+	g := POSLike(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,117 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Vocabulary maps external item tokens to dense itemset.Item identifiers
+// and back. Mining operates on dense ids; presentation uses the tokens.
+type Vocabulary struct {
+	byToken map[string]itemset.Item
+	tokens  []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{byToken: map[string]itemset.Item{}}
+}
+
+// ID interns a token, assigning the next dense id on first sight.
+func (v *Vocabulary) ID(token string) itemset.Item {
+	if id, ok := v.byToken[token]; ok {
+		return id
+	}
+	id := itemset.Item(len(v.tokens))
+	v.byToken[token] = id
+	v.tokens = append(v.tokens, token)
+	return id
+}
+
+// Token returns the external token of a dense id, or a numeric fallback for
+// ids the vocabulary never saw (synthetic data).
+func (v *Vocabulary) Token(id itemset.Item) string {
+	if int(id) < len(v.tokens) {
+		return v.tokens[id]
+	}
+	return fmt.Sprintf("i%d", id)
+}
+
+// Len returns the number of interned tokens.
+func (v *Vocabulary) Len() int { return len(v.tokens) }
+
+// Render formats an itemset with the vocabulary's tokens.
+func (v *Vocabulary) Render(s itemset.Itemset) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range s.Items() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.Token(it))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ReadTransactions parses a transaction stream in the conventional
+// one-transaction-per-line format: whitespace-separated item tokens
+// (numeric or not). Blank lines and lines starting with '#' are skipped.
+// Tokens are interned into the returned Vocabulary in order of first
+// appearance.
+func ReadTransactions(r io.Reader) ([]itemset.Itemset, *Vocabulary, error) {
+	vocab := NewVocabulary()
+	var out []itemset.Itemset
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		items := make([]itemset.Item, 0, len(fields))
+		for _, f := range fields {
+			items = append(items, vocab.ID(f))
+		}
+		out = append(out, itemset.New(items...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("data: reading transactions at line %d: %w", line, err)
+	}
+	return out, vocab, nil
+}
+
+// WriteTransactions writes transactions in the same format ReadTransactions
+// parses, using the vocabulary's tokens (nil vocabulary writes numeric ids).
+func WriteTransactions(w io.Writer, txs []itemset.Itemset, vocab *Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	for _, tx := range txs {
+		for i, it := range tx.Items() {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			var tok string
+			if vocab != nil {
+				tok = vocab.Token(it)
+			} else {
+				tok = fmt.Sprintf("%d", it)
+			}
+			if _, err := bw.WriteString(tok); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestReadTransactionsBasic(t *testing.T) {
+	in := "a b c\n\n# comment\nb c\na\n"
+	txs, vocab, err := ReadTransactions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 3 {
+		t.Fatalf("read %d transactions, want 3", len(txs))
+	}
+	if vocab.Len() != 3 {
+		t.Fatalf("vocabulary has %d tokens, want 3", vocab.Len())
+	}
+	// a interned first -> id 0.
+	if vocab.Token(0) != "a" || vocab.Token(2) != "c" {
+		t.Errorf("token order wrong: %q %q", vocab.Token(0), vocab.Token(2))
+	}
+	if !txs[2].Equal(itemset.New(0)) {
+		t.Errorf("third transaction = %v", txs[2])
+	}
+}
+
+func TestReadTransactionsDuplicateItems(t *testing.T) {
+	txs, _, err := ReadTransactions(strings.NewReader("x x y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txs[0].Len() != 2 {
+		t.Errorf("duplicates not collapsed: %v", txs[0])
+	}
+}
+
+func TestReadTransactionsEmpty(t *testing.T) {
+	txs, vocab, err := ReadTransactions(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 0 || vocab.Len() != 0 {
+		t.Error("empty input produced data")
+	}
+}
+
+func TestVocabularyRoundTrip(t *testing.T) {
+	v := NewVocabulary()
+	ids := []itemset.Item{v.ID("milk"), v.ID("bread"), v.ID("milk")}
+	if ids[0] != ids[2] {
+		t.Error("re-interning changed id")
+	}
+	if v.Token(ids[1]) != "bread" {
+		t.Error("token lookup wrong")
+	}
+	if v.Token(99) != "i99" {
+		t.Errorf("fallback token = %q", v.Token(99))
+	}
+	if got := v.Render(itemset.New(ids[0], ids[1])); got != "{milk,bread}" && got != "{bread,milk}" {
+		// Items sort by id: milk=0, bread=1.
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := "a b\nc\nb c a\n"
+	txs, vocab, err := ReadTransactions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTransactions(&buf, txs, vocab); err != nil {
+		t.Fatal(err)
+	}
+	txs2, _, err := ReadTransactions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs2) != len(txs) {
+		t.Fatalf("round trip changed count: %d vs %d", len(txs2), len(txs))
+	}
+	for i := range txs {
+		if txs[i].Len() != txs2[i].Len() {
+			t.Errorf("transaction %d changed size", i)
+		}
+	}
+}
+
+func TestWriteTransactionsNumericFallback(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTransactions(&buf, []itemset.Itemset{itemset.New(3, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "1 3\n" {
+		t.Errorf("numeric output = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// PublishedEntry is one itemset of a published-output file: the format
+// cmd/butterfly dumps and cmd/audit consumes. On disk each entry is one
+// line, "<support> <item tokens...>".
+type PublishedEntry struct {
+	Support int
+	Set     itemset.Itemset
+}
+
+// ReadPublished parses a published-output file. Tokens are interned into
+// vocab so that multiple files read with the same Vocabulary share item
+// identifiers (required when auditing consecutive windows). Blank lines and
+// '#' comments are skipped.
+func ReadPublished(r io.Reader, vocab *Vocabulary) ([]PublishedEntry, error) {
+	if vocab == nil {
+		return nil, fmt.Errorf("data: ReadPublished requires a vocabulary")
+	}
+	var out []PublishedEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("data: published line %d needs a support and at least one item: %q", line, text)
+		}
+		sup, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: published line %d: bad support %q: %w", line, fields[0], err)
+		}
+		items := make([]itemset.Item, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			items = append(items, vocab.ID(f))
+		}
+		out = append(out, PublishedEntry{Support: sup, Set: itemset.New(items...)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading published output at line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// WritePublished writes entries in the format ReadPublished parses. A nil
+// vocabulary writes numeric item ids.
+func WritePublished(w io.Writer, entries []PublishedEntry, vocab *Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%d", e.Support); err != nil {
+			return err
+		}
+		for _, it := range e.Set.Items() {
+			tok := strconv.Itoa(int(it))
+			if vocab != nil {
+				tok = vocab.Token(it)
+			}
+			if _, err := fmt.Fprintf(bw, " %s", tok); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

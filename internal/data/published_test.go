@@ -1,0 +1,89 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestPublishedRoundTrip(t *testing.T) {
+	vocab := NewVocabulary()
+	entries := []PublishedEntry{
+		{Support: 42, Set: itemset.New(vocab.ID("milk"), vocab.ID("bread"))},
+		{Support: 17, Set: itemset.New(vocab.ID("eggs"))},
+	}
+	var buf bytes.Buffer
+	if err := WritePublished(&buf, entries, vocab); err != nil {
+		t.Fatal(err)
+	}
+	vocab2 := NewVocabulary()
+	got, err := ReadPublished(&buf, vocab2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip lost entries: %d", len(got))
+	}
+	if got[0].Support != 42 || got[1].Support != 17 {
+		t.Errorf("supports changed: %+v", got)
+	}
+	if got[0].Set.Len() != 2 || got[1].Set.Len() != 1 {
+		t.Errorf("sets changed: %+v", got)
+	}
+	// Token identity survives even though dense ids may differ.
+	if vocab2.Render(got[1].Set) != "{eggs}" {
+		t.Errorf("tokens lost: %s", vocab2.Render(got[1].Set))
+	}
+}
+
+func TestReadPublishedSharedVocabulary(t *testing.T) {
+	vocab := NewVocabulary()
+	a, err := ReadPublished(strings.NewReader("5 x y\n"), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadPublished(strings.NewReader("4 y x\n"), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a[0].Set.Equal(b[0].Set) {
+		t.Error("same tokens mapped to different itemsets across files")
+	}
+}
+
+func TestReadPublishedErrors(t *testing.T) {
+	vocab := NewVocabulary()
+	if _, err := ReadPublished(strings.NewReader("notanumber x\n"), vocab); err == nil {
+		t.Error("bad support accepted")
+	}
+	if _, err := ReadPublished(strings.NewReader("5\n"), vocab); err == nil {
+		t.Error("support without items accepted")
+	}
+	if _, err := ReadPublished(strings.NewReader(""), nil); err == nil {
+		t.Error("nil vocabulary accepted")
+	}
+}
+
+func TestReadPublishedSkipsCommentsAndBlanks(t *testing.T) {
+	vocab := NewVocabulary()
+	got, err := ReadPublished(strings.NewReader("# header\n\n3 a\n"), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Support != 3 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestWritePublishedNumericFallback(t *testing.T) {
+	var buf bytes.Buffer
+	err := WritePublished(&buf, []PublishedEntry{{Support: 9, Set: itemset.New(2, 0)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "9 0 2\n" {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/suppress"
+)
+
+// AblationKnowledge measures how the privacy guarantee degrades as the
+// adversary acquires knowledge points (Prior Knowledge 3): for each k in
+// ks, the adversary is granted the exact true supports of the k most
+// frequent itemsets of every window before estimating the vulnerable
+// patterns. The paper's prig definition anticipates exactly this: each
+// knowledge point replaces one itemset's σ² with zero in the inference
+// variance.
+//
+// The precompute must have run with attack. Returns one point per k:
+// (k, avg_prig).
+func AblationKnowledge(w *Windows, params core.Params, scheme core.Scheme, seed uint64, ks []int) (Series, error) {
+	if err := params.Validate(); err != nil {
+		return Series{}, err
+	}
+	s := Series{Name: "avg_prig vs knowledge points"}
+	for _, k := range ks {
+		if k < 0 {
+			return Series{}, fmt.Errorf("experiment: negative knowledge count %d", k)
+		}
+		pub, err := core.NewPublisher(params, scheme, rng.New(seed^0x5bf0f5))
+		if err != nil {
+			return Series{}, err
+		}
+		var prigs []float64
+		for _, wd := range w.Data {
+			if len(wd.Breaches) == 0 {
+				continue
+			}
+			out, err := pub.Publish(wd.Mined, w.WindowSize)
+			if err != nil {
+				return Series{}, err
+			}
+			// Grant the adversary the top-k true supports of this window.
+			know := make(map[string]int, k)
+			for i := 0; i < k && i < wd.Mined.Len(); i++ {
+				fi := wd.Mined.Itemsets[i] // sorted by descending support
+				know[fi.Set.Key()] = fi.Support
+			}
+			ests := make([]metrics.PatternEstimate, 0, len(wd.Breaches))
+			for _, b := range wd.Breaches {
+				e, ok := EstimateBreach(b, out, know)
+				if !ok {
+					continue
+				}
+				ests = append(ests, metrics.PatternEstimate{True: b.Support, Estimate: e})
+			}
+			if len(ests) > 0 {
+				prigs = append(prigs, metrics.AvgPrig(ests))
+			}
+		}
+		s.Points = append(s.Points, Point{X: float64(k), Y: metrics.Mean(prigs)})
+	}
+	return s, nil
+}
+
+// SuppressionComparison quantifies §I's argument against the
+// detecting-then-removing baseline on precomputed windows: per window it
+// measures the fraction of published itemsets the suppression baseline
+// deletes and the wall-clock of its detect→remove loop, against Butterfly's
+// zero deletions, ε-bounded noise, and perturbation cost.
+type SuppressionComparison struct {
+	// Windows measured.
+	Windows int
+	// SuppressedFrac is the mean fraction of itemsets deleted per window.
+	SuppressedFrac float64
+	// SuppressRounds is the mean detect→remove iterations per window.
+	SuppressRounds float64
+	// SuppressTime is the total suppression wall-clock.
+	SuppressTime time.Duration
+	// ButterflyPred is Butterfly's avg_pred on the same windows (its whole
+	// utility cost — no itemset is ever deleted).
+	ButterflyPred float64
+	// ButterflyTime is the total Butterfly perturbation wall-clock
+	// (optimization + draws).
+	ButterflyTime time.Duration
+}
+
+// AblationSuppression runs the comparison. The precompute needs no attack
+// pass: suppression re-detects internally.
+func AblationSuppression(w *Windows, params core.Params, scheme core.Scheme, seed uint64) (SuppressionComparison, error) {
+	if err := params.Validate(); err != nil {
+		return SuppressionComparison{}, err
+	}
+	pub, err := core.NewPublisher(params, scheme, rng.New(seed^0x5bf0f5))
+	if err != nil {
+		return SuppressionComparison{}, err
+	}
+	opts := attack.Options{VulnSupport: params.VulnSupport}
+
+	var cmp SuppressionComparison
+	var preds []float64
+	for _, wd := range w.Data {
+		if wd.Mined.Len() == 0 {
+			continue
+		}
+		t0 := time.Now()
+		rep, err := suppress.Sanitize(wd.Mined, w.WindowSize, opts)
+		cmp.SuppressTime += time.Since(t0)
+		if err != nil {
+			return SuppressionComparison{}, err
+		}
+		cmp.SuppressedFrac += float64(len(rep.Suppressed)) / float64(wd.Mined.Len())
+		cmp.SuppressRounds += float64(rep.Rounds)
+
+		t0 = time.Now()
+		out, err := pub.Publish(wd.Mined, w.WindowSize)
+		cmp.ButterflyTime += time.Since(t0)
+		if err != nil {
+			return SuppressionComparison{}, err
+		}
+		pairs := make([]metrics.Pair, 0, wd.Mined.Len())
+		for _, fi := range wd.Mined.Itemsets {
+			san, _ := out.Support(fi.Set)
+			pairs = append(pairs, metrics.Pair{True: fi.Support, Sanitized: san})
+		}
+		preds = append(preds, metrics.AvgPred(pairs))
+		cmp.Windows++
+	}
+	if cmp.Windows > 0 {
+		cmp.SuppressedFrac /= float64(cmp.Windows)
+		cmp.SuppressRounds /= float64(cmp.Windows)
+	}
+	cmp.ButterflyPred = metrics.Mean(preds)
+	return cmp, nil
+}
+
+// AblationRepublication demonstrates why consistent republication (Prior
+// Knowledge 2) is load-bearing: it publishes the same windows twice — once
+// with the republication cache, once redrawing every window — and measures
+// the averaging adversary's error on each stable itemset (one that keeps
+// its support across all windows): the mean of its published values versus
+// its true support.
+//
+// Returns two series over the number of observed windows: the averaging
+// adversary's MSE with the cache (flat at full variance) and without it
+// (decaying like σ²/n).
+func AblationRepublication(w *Windows, params core.Params, scheme core.Scheme, seed uint64) ([]Series, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	run := func(cached bool) (Series, error) {
+		name := "with republication cache"
+		if !cached {
+			name = "without cache (insecure)"
+		}
+		s := Series{Name: name}
+		pub, err := core.NewPublisher(params, scheme, rng.New(seed^0x5bf0f5))
+		if err != nil {
+			return Series{}, err
+		}
+		pub.SetRepublicationCache(cached)
+
+		// Track the running mean of published values for itemsets whose
+		// true support never changes; at each window count, record the mean
+		// squared relative deviation of that running mean from the truth.
+		type track struct {
+			set   itemset.Itemset
+			truth int
+			sum   float64
+			n     int
+			live  bool
+		}
+		tracks := make([]*track, 0, w.Data[0].Mined.Len())
+		for _, fi := range w.Data[0].Mined.Itemsets {
+			tracks = append(tracks, &track{set: fi.Set, truth: fi.Support, live: true})
+		}
+		for wi, wd := range w.Data {
+			out, err := pub.Publish(wd.Mined, w.WindowSize)
+			if err != nil {
+				return Series{}, err
+			}
+			var sumSq float64
+			var count int
+			for _, tr := range tracks {
+				if !tr.live {
+					continue
+				}
+				truth, ok := wd.Mined.Support(tr.set)
+				if !ok || truth != tr.truth {
+					tr.live = false // support changed: averaging restarts anyway
+					continue
+				}
+				san, ok := out.Support(tr.set)
+				if !ok {
+					tr.live = false
+					continue
+				}
+				tr.sum += float64(san)
+				tr.n++
+				avg := tr.sum / float64(tr.n)
+				d := avg - float64(tr.truth)
+				sumSq += d * d
+				count++
+			}
+			if count > 0 {
+				s.Points = append(s.Points, Point{X: float64(wi + 1), Y: sumSq / float64(count)})
+			}
+		}
+		return s, nil
+	}
+
+	withCache, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return []Series{withCache, without}, nil
+}

@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func smallWindows(t *testing.T, withAttack bool) *Windows {
+	t.Helper()
+	w, err := Precompute(Datasets()[0], 300, 8, 5, 12, 3, 7, withAttack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallParams() core.Params {
+	return core.Params{Epsilon: 0.04, Delta: 0.5, MinSupport: 12, VulnSupport: 3}
+}
+
+func TestAblationKnowledgeMonotone(t *testing.T) {
+	w := smallWindows(t, true)
+	s, err := AblationKnowledge(w, smallParams(), core.Basic{}, 7, []int{0, 4, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("got %d points", len(s.Points))
+	}
+	// With no knowledge, the guarantee holds; with many knowledge points it
+	// must degrade (strictly, unless no breach touched a known itemset —
+	// essentially impossible since breaches derive FROM frequent itemsets).
+	if s.Points[0].Y <= s.Points[len(s.Points)-1].Y {
+		t.Errorf("knowledge points did not degrade privacy: prig %v -> %v",
+			s.Points[0].Y, s.Points[len(s.Points)-1].Y)
+	}
+	if s.Points[0].Y < smallParams().Delta {
+		t.Errorf("prig without knowledge %v below δ %v", s.Points[0].Y, smallParams().Delta)
+	}
+}
+
+func TestAblationKnowledgeRejectsNegative(t *testing.T) {
+	w := smallWindows(t, true)
+	if _, err := AblationKnowledge(w, smallParams(), core.Basic{}, 7, []int{-1}); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestAblationRepublicationGap(t *testing.T) {
+	w := smallWindows(t, false)
+	series, err := AblationRepublication(w, smallParams(), core.Basic{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	cached, fresh := series[0], series[1]
+	if len(cached.Points) == 0 || len(fresh.Points) == 0 {
+		t.Fatal("empty series — no stable itemsets survived the run")
+	}
+	// At the last measured window the averaging adversary must be doing
+	// better against the uncached publisher than the cached one.
+	lastCached := cached.Points[len(cached.Points)-1].Y
+	lastFresh := fresh.Points[len(fresh.Points)-1].Y
+	if lastFresh >= lastCached {
+		t.Errorf("averaging attack not demonstrated: cached MSE %v vs fresh MSE %v",
+			lastCached, lastFresh)
+	}
+}
+
+func TestAblationValidatesParams(t *testing.T) {
+	w := smallWindows(t, false)
+	if _, err := AblationKnowledge(w, core.Params{}, core.Basic{}, 7, []int{0}); err == nil {
+		t.Error("invalid params accepted by AblationKnowledge")
+	}
+	if _, err := AblationRepublication(w, core.Params{}, core.Basic{}, 7); err == nil {
+		t.Error("invalid params accepted by AblationRepublication")
+	}
+}
+
+func TestAblationSuppressionComparison(t *testing.T) {
+	w := smallWindows(t, false)
+	cmp, err := AblationSuppression(w, smallParams(), core.Basic{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Windows == 0 {
+		t.Fatal("no windows measured")
+	}
+	if cmp.SuppressedFrac < 0 || cmp.SuppressedFrac > 1 {
+		t.Errorf("suppressed fraction %v out of range", cmp.SuppressedFrac)
+	}
+	if cmp.ButterflyPred > smallParams().Epsilon {
+		t.Errorf("butterfly pred %v exceeds ε", cmp.ButterflyPred)
+	}
+	if cmp.SuppressRounds < 1 {
+		t.Errorf("rounds %v below 1", cmp.SuppressRounds)
+	}
+	// The paper's efficiency argument: detection costs more than
+	// perturbation. (Both tiny here; the ratio is what matters.)
+	if cmp.SuppressTime < cmp.ButterflyTime {
+		t.Logf("note: suppression %v cheaper than butterfly %v at this tiny scale",
+			cmp.SuppressTime, cmp.ButterflyTime)
+	}
+}
+
+func TestAblationSuppressionValidates(t *testing.T) {
+	w := smallWindows(t, false)
+	if _, err := AblationSuppression(w, core.Params{}, core.Basic{}, 7); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// small returns a fast configuration for tests: tiny windows, few of them.
+func small(scheme core.Scheme, withAttack bool) Config {
+	return Config{
+		Dataset:    Datasets()[0], // WebView1 surrogate
+		WindowSize: 300,
+		Windows:    6,
+		Stride:     5,
+		Params:     core.Params{Epsilon: 0.04, Delta: 0.5, MinSupport: 12, VulnSupport: 3},
+		Scheme:     scheme,
+		Seed:       7,
+		WithAttack: withAttack,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Dataset: Datasets()[0]},
+		{Dataset: Datasets()[0], WindowSize: 10},
+		{Dataset: Datasets()[0], WindowSize: 10, Windows: 1, Stride: -1,
+			Params: core.Params{Epsilon: 0.04, Delta: 0.5, MinSupport: 12, VulnSupport: 3}},
+		{Dataset: Datasets()[0], WindowSize: 10, Windows: 1, RatioK: 2,
+			Params: core.Params{Epsilon: 0.04, Delta: 0.5, MinSupport: 12, VulnSupport: 3}},
+		{Dataset: Datasets()[0], WindowSize: 10, Windows: 1}, // invalid params
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunProducesGuarantees(t *testing.T) {
+	cfg := small(core.Basic{}, true)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != cfg.Windows {
+		t.Errorf("measured %d windows, want %d", res.Windows, cfg.Windows)
+	}
+	if res.AvgPred > cfg.Params.Epsilon {
+		t.Errorf("avg_pred %v exceeds ε %v", res.AvgPred, cfg.Params.Epsilon)
+	}
+	if res.AvgPred == 0 {
+		t.Error("avg_pred is exactly zero — no perturbation happened")
+	}
+	if res.PhvWindows > 0 && res.AvgPrig < cfg.Params.Delta {
+		t.Errorf("avg_prig %v below δ %v with %d vulnerable patterns",
+			res.AvgPrig, cfg.Params.Delta, res.PhvTotal)
+	}
+	if res.AvgROPP < 0 || res.AvgROPP > 1 || res.AvgRRPP < 0 || res.AvgRRPP > 1 {
+		t.Errorf("rates out of range: ropp %v rrpp %v", res.AvgROPP, res.AvgRRPP)
+	}
+	if res.FrequentAvg <= 0 {
+		t.Error("no frequent itemsets published")
+	}
+}
+
+func TestRunSchemesDiffer(t *testing.T) {
+	// OP and RP must actually behave differently on the same stream.
+	op, err := Run(small(core.OrderPreserving{Gamma: 2}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(small(core.RatioPreserving{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.AvgROPP == rp.AvgROPP && op.AvgRRPP == rp.AvgRRPP {
+		t.Error("OP and RP produced identical utility metrics — schemes not wired through")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(small(core.Hybrid{Lambda: 0.4}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(small(core.Hybrid{Lambda: 0.4}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPred != b.AvgPred || a.AvgROPP != b.AvgROPP || a.AvgRRPP != b.AvgRRPP {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestVariantsShape(t *testing.T) {
+	vs := Variants(2)
+	if len(vs) != 4 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		if v.Scheme == nil {
+			t.Errorf("variant %s has nil scheme", v.Name)
+		}
+		names[v.Name] = true
+	}
+	for _, want := range []string{"Basic", "Opt λ=1", "Opt λ=0.4", "Opt λ=0"} {
+		if !names[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	if _, err := Figure(3, FigureOptions{}); err == nil {
+		t.Error("figure 3 accepted")
+	}
+	if _, err := Figure(9, FigureOptions{}); err == nil {
+		t.Error("figure 9 accepted")
+	}
+}
+
+// A miniature Fig5 run: panels have the right shape and the headline claim
+// (OP best at order, RP best at ratio) holds even at reduced scale.
+func TestFig5Miniature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature figure still costs a few seconds")
+	}
+	panels, err := Fig5(FigureOptions{
+		WindowSize:    400,
+		Windows:       8,
+		Stride:        10,
+		DatasetFilter: "WebView1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("%d panels, want 2 (one dataset)", len(panels))
+	}
+	for _, p := range panels {
+		if len(p.Series) != 4 {
+			t.Fatalf("panel %q has %d series", p.Title, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.Points) != 5 {
+				t.Fatalf("series %q has %d points", s.Name, len(s.Points))
+			}
+		}
+	}
+	// Identify series by name.
+	find := func(p Panel, name string) Series {
+		for _, s := range p.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return Series{}
+	}
+	mean := func(s Series) float64 {
+		sum := 0.0
+		for _, pt := range s.Points {
+			sum += pt.Y
+		}
+		return sum / float64(len(s.Points))
+	}
+	roppPanel, rrppPanel := panels[0], panels[1]
+	if mean(find(roppPanel, "Opt λ=1")) < mean(find(roppPanel, "Opt λ=0")) {
+		t.Error("order-preserving scheme lost to ratio-preserving on ropp")
+	}
+	if mean(find(rrppPanel, "Opt λ=0")) < mean(find(rrppPanel, "Opt λ=1")) {
+		t.Error("ratio-preserving scheme lost to order-preserving on rrpp")
+	}
+}
+
+func TestRunPrecomputedThresholdMismatch(t *testing.T) {
+	w, err := Precompute(Datasets()[0], 200, 2, 10, 12, 3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := core.Params{Epsilon: 0.04, Delta: 0.5, MinSupport: 20, VulnSupport: 3}
+	if _, err := RunPrecomputed(w, bad, core.Basic{}, EvalOptions{Seed: 7}); err == nil {
+		t.Error("threshold mismatch accepted")
+	}
+}
+
+func TestEstimateBreachExactOnRawOutput(t *testing.T) {
+	// Against raw (unperturbed) output the estimate must equal the breach's
+	// true derived support whenever the lattice is fully published.
+	w, err := Precompute(Datasets()[0], 300, 4, 10, 12, 3, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, wd := range w.Data {
+		raw := core.NewRawOutput(wd.Mined, w.WindowSize)
+		for _, b := range wd.Breaches {
+			e, ok := EstimateBreach(b, raw, nil)
+			if !ok {
+				continue // lattice not fully published: outside the metric
+			}
+			checked++
+			if e != float64(b.Support) {
+				t.Fatalf("raw-output estimate %v != derived %d for %v", e, b.Support, b.Pattern)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no fully-published breaches in this fixture")
+	}
+}
+
+func TestEstimateBreachKnowledgeOverride(t *testing.T) {
+	w, err := Precompute(Datasets()[0], 300, 4, 10, 12, 3, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find one estimable breach, then feed knowledge that shifts a lattice
+	// member by +10: the estimate must move accordingly.
+	for _, wd := range w.Data {
+		raw := core.NewRawOutput(wd.Mined, w.WindowSize)
+		for _, b := range wd.Breaches {
+			base, ok := EstimateBreach(b, raw, nil)
+			if !ok || b.I.Equal(b.J) {
+				continue
+			}
+			trueI, _ := raw.Support(b.I)
+			know := map[string]int{b.I.Key(): trueI + 10}
+			shifted, ok := EstimateBreach(b, raw, know)
+			if !ok {
+				t.Fatal("knowledge removed estimability")
+			}
+			// I contributes with sign +1 (distance 0).
+			if shifted != base+10 {
+				t.Fatalf("knowledge shift: base %v, shifted %v", base, shifted)
+			}
+			return
+		}
+	}
+	t.Skip("no estimable breach in fixture")
+}
+
+// Exercise every figure runner end to end at micro scale: panel/series
+// shapes must match the sweeps they encode.
+func TestAllFiguresMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure, a few seconds")
+	}
+	opts := FigureOptions{
+		WindowSize:    300,
+		Windows:       2,
+		Stride:        40,
+		Seed:          3,
+		DatasetFilter: "WebView1",
+		PrivacySeeds:  2,
+	}
+	wantSeries := map[int]int{4: 4, 5: 4, 6: 1, 7: 3, 8: 3}
+	wantPanels := map[int]int{4: 2, 5: 2, 6: 1, 7: 1, 8: 1}
+	wantPoints := map[int]int{4: 5, 5: 5, 6: 7, 7: 5, 8: 5}
+	for fig := 4; fig <= 8; fig++ {
+		o := opts
+		if fig == 8 {
+			o.WindowSize = 500 // avoid the 2000->5000 default bump
+		}
+		panels, err := Figure(fig, o)
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		if len(panels) != wantPanels[fig] {
+			t.Fatalf("fig %d: %d panels, want %d", fig, len(panels), wantPanels[fig])
+		}
+		for _, p := range panels {
+			if len(p.Series) != wantSeries[fig] {
+				t.Errorf("fig %d panel %q: %d series, want %d",
+					fig, p.Title, len(p.Series), wantSeries[fig])
+			}
+			for _, s := range p.Series {
+				if len(s.Points) != wantPoints[fig] {
+					t.Errorf("fig %d series %q: %d points, want %d",
+						fig, s.Name, len(s.Points), wantPoints[fig])
+				}
+				for _, pt := range s.Points {
+					if pt.Y < 0 {
+						t.Errorf("fig %d series %q: negative y %v", fig, s.Name, pt.Y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFigureOptionsDatasetFilter(t *testing.T) {
+	o := FigureOptions{DatasetFilter: "nope"}
+	if ds := o.datasets(); len(ds) != 0 {
+		t.Errorf("bogus filter matched %d datasets", len(ds))
+	}
+	o = FigureOptions{DatasetFilter: "POS"}
+	if ds := o.datasets(); len(ds) != 1 || ds[0].Name != "POS" {
+		t.Errorf("POS filter gave %v", ds)
+	}
+	o = FigureOptions{}
+	if ds := o.datasets(); len(ds) != 2 {
+		t.Errorf("no filter gave %d datasets", len(ds))
+	}
+}

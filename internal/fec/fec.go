@@ -1,0 +1,57 @@
+// Package fec implements frequency equivalence classes (Definition 5 of the
+// Butterfly paper): a partition of the frequent itemsets into classes of
+// equal support, strictly ordered by that support. The optimized Butterfly
+// schemes perturb per-FEC rather than per-itemset so that the equality of
+// supports within a class — and, as far as possible, the order and ratio
+// between classes — survives sanitization.
+package fec
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// Class is one frequency equivalence class: the frequent itemsets sharing a
+// support value.
+type Class struct {
+	// Support is t_i, the common support of all members.
+	Support int
+	// Members holds the itemsets of the class in deterministic order.
+	Members []itemset.Itemset
+}
+
+// Size returns s_i, the number of member itemsets.
+func (c Class) Size() int { return len(c.Members) }
+
+// Partition groups the frequent itemsets of a mining result into FECs,
+// returned in strictly ascending support order (f_1 ≺ f_2 ≺ ... in the
+// paper's notation).
+func Partition(res *mining.Result) []Class {
+	bySupport := map[int][]itemset.Itemset{}
+	for _, fi := range res.Itemsets {
+		bySupport[fi.Support] = append(bySupport[fi.Support], fi.Set)
+	}
+	out := make([]Class, 0, len(bySupport))
+	for sup, members := range bySupport {
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Len() != members[j].Len() {
+				return members[i].Len() < members[j].Len()
+			}
+			return members[i].Key() < members[j].Key()
+		})
+		out = append(out, Class{Support: sup, Members: members})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Support < out[j].Support })
+	return out
+}
+
+// TotalMembers returns the number of itemsets across all classes.
+func TotalMembers(classes []Class) int {
+	n := 0
+	for _, c := range classes {
+		n += c.Size()
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package fec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+func TestPartitionOrdersAndGroups(t *testing.T) {
+	res := mining.NewResult(2, []mining.FrequentItemset{
+		{Set: itemset.New(1), Support: 5},
+		{Set: itemset.New(2), Support: 3},
+		{Set: itemset.New(3), Support: 5},
+		{Set: itemset.New(1, 2), Support: 3},
+		{Set: itemset.New(4), Support: 9},
+	})
+	classes := Partition(res)
+	if len(classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(classes))
+	}
+	wantSupports := []int{3, 5, 9}
+	wantSizes := []int{2, 2, 1}
+	for i, c := range classes {
+		if c.Support != wantSupports[i] {
+			t.Errorf("class %d support = %d, want %d", i, c.Support, wantSupports[i])
+		}
+		if c.Size() != wantSizes[i] {
+			t.Errorf("class %d size = %d, want %d", i, c.Size(), wantSizes[i])
+		}
+	}
+	if TotalMembers(classes) != 5 {
+		t.Errorf("TotalMembers = %d", TotalMembers(classes))
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	classes := Partition(mining.NewResult(2, nil))
+	if len(classes) != 0 {
+		t.Errorf("empty result produced %d classes", len(classes))
+	}
+}
+
+func TestPartitionDeterministicMemberOrder(t *testing.T) {
+	mk := func() []Class {
+		res := mining.NewResult(1, []mining.FrequentItemset{
+			{Set: itemset.New(3), Support: 4},
+			{Set: itemset.New(1), Support: 4},
+			{Set: itemset.New(2, 5), Support: 4},
+			{Set: itemset.New(2), Support: 4},
+		})
+		return Partition(res)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		for j := range a[i].Members {
+			if !a[i].Members[j].Equal(b[i].Members[j]) {
+				t.Fatal("member order not deterministic")
+			}
+		}
+	}
+	// Singletons before pairs, by key.
+	m := a[0].Members
+	if m[0].Len() != 1 || m[len(m)-1].Len() != 2 {
+		t.Errorf("member order wrong: %v", m)
+	}
+}
+
+// Property: partition is a bijection on itemsets, classes strictly
+// increasing, members' supports match the class.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := rng.New(uint64(seed))
+		n := 1 + src.Intn(40)
+		sets := make([]mining.FrequentItemset, 0, n)
+		used := map[string]bool{}
+		for i := 0; i < n; i++ {
+			s := itemset.New(itemset.Item(src.Intn(10)), itemset.Item(src.Intn(10)))
+			if used[s.Key()] {
+				continue
+			}
+			used[s.Key()] = true
+			sets = append(sets, mining.FrequentItemset{Set: s, Support: 1 + src.Intn(6)})
+		}
+		res := mining.NewResult(1, sets)
+		classes := Partition(res)
+		if TotalMembers(classes) != res.Len() {
+			return false
+		}
+		prev := -1
+		for _, c := range classes {
+			if c.Support <= prev {
+				return false
+			}
+			prev = c.Support
+			for _, m := range c.Members {
+				if sup, ok := res.Support(m); !ok || sup != c.Support {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

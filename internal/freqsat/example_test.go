@@ -1,0 +1,32 @@
+package freqsat_test
+
+import (
+	"fmt"
+
+	"repro/internal/freqsat"
+	"repro/internal/itemset"
+)
+
+// ExampleProblem_SupportRange reproduces the paper's Example 4 with the
+// OPTIMAL adversary: given T(c)=8, T(ac)=5, T(bc)=5 over 8 records, the
+// exact feasible range of T(abc) is [2,5] — the same interval the
+// non-derivable bounds give, confirming they are tight on this instance.
+func ExampleProblem_SupportRange() {
+	a, b, c := itemset.Item(0), itemset.Item(1), itemset.Item(2)
+	p := freqsat.Problem{
+		Items: []itemset.Item{a, b, c},
+		N:     8,
+		Constraints: []freqsat.Constraint{
+			{Set: itemset.New(c), Lo: 8, Hi: 8},
+			{Set: itemset.New(a, c), Lo: 5, Hi: 5},
+			{Set: itemset.New(b, c), Lo: 5, Hi: 5},
+		},
+	}
+	lo, hi, feasible, err := p.SupportRange(itemset.New(a, b, c))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(feasible, lo, hi)
+	// Output:
+	// true 2 5
+}

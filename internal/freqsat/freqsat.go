@@ -1,0 +1,246 @@
+// Package freqsat decides itemset-frequency satisfiability (FREQSAT) for
+// tiny instances: given a database size N and interval constraints on the
+// supports of some itemsets, does a database exist that satisfies them all?
+//
+// The paper's Prior Knowledge 1 (§V-C) leans on Calders' result that
+// FREQSAT is NP-complete in general, which is why an adversary cannot
+// cheaply exploit inclusion–exclusion consistency to sharpen estimates at
+// scale. This package implements the problem exactly — by exhaustive search
+// over transaction-type multiplicities with interval pruning — for the tiny
+// universes where it IS affordable. It serves two purposes: it is the
+// optimal adversary against which the non-derivable bounds of package
+// lattice can be judged in tests, and it documents concretely what the
+// NP-completeness shields real deployments from.
+package freqsat
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+)
+
+// Constraint requires Lo <= T(Set) <= Hi.
+type Constraint struct {
+	Set itemset.Itemset
+	Lo  int
+	Hi  int
+}
+
+// Problem is one FREQSAT instance over a fixed item universe and database
+// size. Limits: at most MaxItems items and MaxN transactions; Satisfiable
+// and SupportRange return an error beyond them or when the search exceeds
+// its node budget.
+type Problem struct {
+	// Items is the item universe.
+	Items []itemset.Item
+	// N is the exact database size.
+	N int
+	// Constraints are the support requirements.
+	Constraints []Constraint
+}
+
+// MaxItems bounds the universe (2^MaxItems transaction types).
+const MaxItems = 5
+
+// MaxN bounds the database size.
+const MaxN = 48
+
+// maxNodes bounds the DFS; exceeding it means the instance is too hard for
+// the exhaustive solver and an error is returned rather than a wrong answer.
+const maxNodes = 8_000_000
+
+func (p Problem) validate() error {
+	if len(p.Items) == 0 || len(p.Items) > MaxItems {
+		return fmt.Errorf("freqsat: universe of %d items outside [1,%d]", len(p.Items), MaxItems)
+	}
+	if p.N < 0 || p.N > MaxN {
+		return fmt.Errorf("freqsat: N=%d outside [0,%d]", p.N, MaxN)
+	}
+	seen := map[itemset.Item]bool{}
+	for _, it := range p.Items {
+		if seen[it] {
+			return fmt.Errorf("freqsat: duplicate item %v", it)
+		}
+		seen[it] = true
+	}
+	for _, c := range p.Constraints {
+		if c.Lo > c.Hi {
+			return fmt.Errorf("freqsat: constraint on %v has Lo %d > Hi %d", c.Set, c.Lo, c.Hi)
+		}
+		for _, it := range c.Set.Items() {
+			if !seen[it] {
+				return fmt.Errorf("freqsat: constraint itemset %v uses item outside the universe", c.Set)
+			}
+		}
+	}
+	return nil
+}
+
+// solver holds the DFS state.
+type solver struct {
+	nTypes  int
+	members [][]int // members[c] = type indexes containing constraint c's set
+	lo, hi  []int
+	n       int
+	nodes   int
+}
+
+// Satisfiable reports whether some database over the universe meets every
+// constraint.
+func (p Problem) Satisfiable() (bool, error) {
+	s, err := p.newSolver()
+	if err != nil {
+		return false, err
+	}
+	ok, err := s.search()
+	return ok, err
+}
+
+// SupportRange returns the exact feasible range of T(target) across all
+// databases satisfying the constraints. feasible is false when no database
+// satisfies the constraints at all.
+func (p Problem) SupportRange(target itemset.Itemset) (lo, hi int, feasible bool, err error) {
+	for _, it := range target.Items() {
+		found := false
+		for _, u := range p.Items {
+			if u == it {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, 0, false, fmt.Errorf("freqsat: target %v uses item outside the universe", target)
+		}
+	}
+	// Ascend for the minimum, descend for the maximum; each probe adds a
+	// pinning constraint on the target.
+	probe := func(v int) (bool, error) {
+		q := p
+		q.Constraints = append(append([]Constraint{}, p.Constraints...),
+			Constraint{Set: target, Lo: v, Hi: v})
+		return q.Satisfiable()
+	}
+	lo, hi = -1, -1
+	for v := 0; v <= p.N; v++ {
+		ok, err := probe(v)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if ok {
+			lo = v
+			break
+		}
+	}
+	if lo == -1 {
+		return 0, 0, false, nil
+	}
+	for v := p.N; v >= lo; v-- {
+		ok, err := probe(v)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if ok {
+			hi = v
+			break
+		}
+	}
+	return lo, hi, true, nil
+}
+
+func (p Problem) newSolver() (*solver, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.Items)
+	nTypes := 1 << m
+	s := &solver{nTypes: nTypes, n: p.N}
+	// Implicit constraint: total count == N is handled by the DFS budget.
+	for _, c := range p.Constraints {
+		var mask int
+		for bit, it := range p.Items {
+			if c.Set.Contains(it) {
+				mask |= 1 << bit
+			}
+		}
+		var members []int
+		for t := 0; t < nTypes; t++ {
+			if t&mask == mask {
+				members = append(members, t)
+			}
+		}
+		s.members = append(s.members, members)
+		s.lo = append(s.lo, c.Lo)
+		s.hi = append(s.hi, c.Hi)
+	}
+	return s, nil
+}
+
+// search runs DFS over counts of each transaction type.
+func (s *solver) search() (bool, error) {
+	// isMember[c][t] for O(1) checks; remainingMember[c][t] = whether any
+	// type >= t is a member of constraint c (for lower-bound pruning).
+	isMember := make([][]bool, len(s.members))
+	remainingMember := make([][]bool, len(s.members))
+	for c, mem := range s.members {
+		isMember[c] = make([]bool, s.nTypes)
+		for _, t := range mem {
+			isMember[c][t] = true
+		}
+		remainingMember[c] = make([]bool, s.nTypes+1)
+		for t := s.nTypes - 1; t >= 0; t-- {
+			remainingMember[c][t] = remainingMember[c][t+1] || isMember[c][t]
+		}
+	}
+	sums := make([]int, len(s.members))
+
+	var dfs func(t, remaining int) (bool, error)
+	dfs = func(t, remaining int) (bool, error) {
+		s.nodes++
+		if s.nodes > maxNodes {
+			return false, fmt.Errorf("freqsat: search budget exceeded (%d nodes)", maxNodes)
+		}
+		if t == s.nTypes {
+			if remaining != 0 {
+				return false, nil
+			}
+			for c := range sums {
+				if sums[c] < s.lo[c] || sums[c] > s.hi[c] {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		// Prune: a constraint already over Hi can never recover; one whose
+		// remaining member mass cannot reach Lo is dead.
+		for c := range sums {
+			if sums[c] > s.hi[c] {
+				return false, nil
+			}
+			maxMore := 0
+			if remainingMember[c][t] {
+				maxMore = remaining
+			}
+			if sums[c]+maxMore < s.lo[c] {
+				return false, nil
+			}
+		}
+		for cnt := remaining; cnt >= 0; cnt-- {
+			for c := range sums {
+				if isMember[c][t] {
+					sums[c] += cnt
+				}
+			}
+			ok, err := dfs(t+1, remaining-cnt)
+			for c := range sums {
+				if isMember[c][t] {
+					sums[c] -= cnt
+				}
+			}
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return dfs(0, s.n)
+}

@@ -1,0 +1,214 @@
+package freqsat
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/lattice"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+func exact(set itemset.Itemset, v int) Constraint {
+	return Constraint{Set: set, Lo: v, Hi: v}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Problem{
+		{Items: nil, N: 5},
+		{Items: []itemset.Item{0, 1, 2, 3, 4, 5}, N: 5},
+		{Items: []itemset.Item{0}, N: -1},
+		{Items: []itemset.Item{0}, N: MaxN + 1},
+		{Items: []itemset.Item{0, 0}, N: 5},
+		{Items: []itemset.Item{0}, N: 5, Constraints: []Constraint{{Set: itemset.New(0), Lo: 3, Hi: 2}}},
+		{Items: []itemset.Item{0}, N: 5, Constraints: []Constraint{exact(itemset.New(1), 2)}},
+	}
+	for i, p := range bad {
+		if _, err := p.Satisfiable(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestSatisfiableSimple(t *testing.T) {
+	p := Problem{
+		Items: []itemset.Item{0, 1},
+		N:     10,
+		Constraints: []Constraint{
+			exact(itemset.New(0), 7),
+			exact(itemset.New(1), 6),
+			exact(itemset.New(0, 1), 4),
+		},
+	}
+	ok, err := p.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("consistent instance reported unsatisfiable")
+	}
+}
+
+func TestUnsatisfiableViolatesInclusion(t *testing.T) {
+	// T(ab) cannot exceed T(a).
+	p := Problem{
+		Items: []itemset.Item{0, 1},
+		N:     10,
+		Constraints: []Constraint{
+			exact(itemset.New(0), 3),
+			exact(itemset.New(0, 1), 5),
+		},
+	}
+	ok, err := p.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("T(ab) > T(a) reported satisfiable")
+	}
+}
+
+func TestUnsatisfiableBonferroni(t *testing.T) {
+	// T(a)=8, T(b)=8 in N=10 forces T(ab) >= 6; require T(ab) <= 2.
+	p := Problem{
+		Items: []itemset.Item{0, 1},
+		N:     10,
+		Constraints: []Constraint{
+			exact(itemset.New(0), 8),
+			exact(itemset.New(1), 8),
+			{Set: itemset.New(0, 1), Lo: 0, Hi: 2},
+		},
+	}
+	ok, err := p.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Bonferroni-violating instance reported satisfiable")
+	}
+}
+
+// The paper's Example 4 instance: with T(c)=8, T(ac)=5, T(bc)=5 in N=8, the
+// exact feasible range of T(abc) is [2,5] — the optimal adversary can do no
+// better than the non-derivable bounds on this instance.
+func TestSupportRangeMatchesExample4(t *testing.T) {
+	db := paperex.Window12()
+	c := itemset.New(paperex.C)
+	ac := itemset.New(paperex.A, paperex.C)
+	bc := itemset.New(paperex.B, paperex.C)
+	p := Problem{
+		Items: []itemset.Item{paperex.A, paperex.B, paperex.C},
+		N:     8,
+		Constraints: []Constraint{
+			exact(c, db.Support(c)),
+			exact(ac, db.Support(ac)),
+			exact(bc, db.Support(bc)),
+		},
+	}
+	lo, hi, feasible, err := p.SupportRange(itemset.New(paperex.A, paperex.B, paperex.C))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible {
+		t.Fatal("real-data constraints reported infeasible")
+	}
+	if lo != 2 || hi != 5 {
+		t.Errorf("exact range = [%d,%d], want [2,5]", lo, hi)
+	}
+}
+
+// Soundness of the NDI bounds against the optimal adversary: on random tiny
+// instances built from real (consistent) databases, the exact feasible
+// range is always contained in the lattice.Bounds interval.
+func TestNDIBoundsContainExactRange(t *testing.T) {
+	src := rng.New(71)
+	for trial := 0; trial < 25; trial++ {
+		// Random database over 3 items, N up to 14.
+		n := 6 + src.Intn(9)
+		recs := make([]itemset.Itemset, n)
+		for i := range recs {
+			var items []itemset.Item
+			for b := 0; b < 3; b++ {
+				if src.Intn(2) == 1 {
+					items = append(items, itemset.Item(b))
+				}
+			}
+			recs[i] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		target := itemset.New(0, 1, 2)
+
+		// Publish all proper subsets; hide the target.
+		var cons []Constraint
+		published := map[string]int{}
+		target.ProperSubsets(func(sub itemset.Itemset) bool {
+			cons = append(cons, exact(sub, db.Support(sub)))
+			published[sub.Key()] = db.Support(sub)
+			return true
+		})
+		p := Problem{Items: []itemset.Item{0, 1, 2}, N: n, Constraints: cons}
+		lo, hi, feasible, err := p.SupportRange(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible {
+			t.Fatalf("trial %d: constraints from a real database infeasible", trial)
+		}
+		truth := db.Support(target)
+		if truth < lo || truth > hi {
+			t.Fatalf("trial %d: truth %d outside exact range [%d,%d]", trial, truth, lo, hi)
+		}
+		iv, err := lattice.Bounds(target, lattice.MapLookup(published, n), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo < iv.Lo || hi > iv.Hi {
+			t.Errorf("trial %d: exact range [%d,%d] escapes NDI bounds %v", trial, lo, hi, iv)
+		}
+	}
+}
+
+func TestSupportRangeInfeasible(t *testing.T) {
+	p := Problem{
+		Items: []itemset.Item{0, 1},
+		N:     4,
+		Constraints: []Constraint{
+			exact(itemset.New(0), 1),
+			exact(itemset.New(0, 1), 3),
+		},
+	}
+	_, _, feasible, err := p.SupportRange(itemset.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible {
+		t.Error("infeasible instance reported feasible")
+	}
+}
+
+func TestSupportRangeUnconstrained(t *testing.T) {
+	p := Problem{Items: []itemset.Item{0}, N: 7}
+	lo, hi, feasible, err := p.SupportRange(itemset.New(0))
+	if err != nil || !feasible {
+		t.Fatal(err, feasible)
+	}
+	if lo != 0 || hi != 7 {
+		t.Errorf("range = [%d,%d], want [0,7]", lo, hi)
+	}
+}
+
+func TestSupportRangeRejectsForeignTarget(t *testing.T) {
+	p := Problem{Items: []itemset.Item{0}, N: 3}
+	if _, _, _, err := p.SupportRange(itemset.New(9)); err == nil {
+		t.Error("foreign target accepted")
+	}
+}
+
+func TestEmptyDatabaseProblem(t *testing.T) {
+	p := Problem{Items: []itemset.Item{0}, N: 0,
+		Constraints: []Constraint{exact(itemset.New(0), 0)}}
+	ok, err := p.Satisfiable()
+	if err != nil || !ok {
+		t.Errorf("N=0 with zero supports should be satisfiable: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,78 @@
+package itemset
+
+// Database is an ordered multiset of transaction records. In the stream
+// setting a Database is the materialized content of one sliding window.
+type Database struct {
+	records []Itemset
+}
+
+// NewDatabase builds a database over the given records. The slice is used
+// directly; callers must not modify it afterwards.
+func NewDatabase(records []Itemset) *Database {
+	return &Database{records: records}
+}
+
+// Len returns the number of records.
+func (d *Database) Len() int { return len(d.records) }
+
+// Record returns the i-th record.
+func (d *Database) Record(i int) Itemset { return d.records[i] }
+
+// Records returns the backing record slice; callers must not modify it.
+func (d *Database) Records() []Itemset { return d.records }
+
+// Support returns T_D(I): the number of records containing I as a subset.
+func (d *Database) Support(i Itemset) int {
+	n := 0
+	for _, r := range d.records {
+		if r.ContainsAll(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// PatternSupport returns T_D(p): the number of records satisfying the
+// generalized pattern p.
+func (d *Database) PatternSupport(p Pattern) int {
+	n := 0
+	for _, r := range d.records {
+		if p.Matches(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Items returns the universe of items appearing in at least one record, in
+// ascending order.
+func (d *Database) Items() []Item {
+	seen := map[Item]bool{}
+	for _, r := range d.records {
+		for _, it := range r.Items() {
+			seen[it] = true
+		}
+	}
+	out := make([]Item, 0, len(seen))
+	for it := range seen {
+		out = append(out, it)
+	}
+	// Insertion sort is fine: item universes are small relative to records.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ItemSupports returns the support of every single item in the database.
+func (d *Database) ItemSupports() map[Item]int {
+	counts := map[Item]int{}
+	for _, r := range d.records {
+		for _, it := range r.Items() {
+			counts[it]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,276 @@
+// Package itemset defines the data model of frequent-pattern mining as used
+// throughout this repository: items, itemsets, generalized patterns that may
+// contain negated items, and transaction databases with support counting.
+//
+// The definitions follow §III of the Butterfly paper (Wang & Liu, ICDE 2008):
+// an itemset is a set of items; a pattern is a set of items and item
+// negations; a record satisfies a pattern if it contains every positive item
+// and none of the negated ones; the support of an itemset or pattern with
+// respect to a database is the number of records satisfying it.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item identifies a single item. Items are small non-negative integers;
+// datasets map their native identifiers (page URLs, SKUs, symptoms) onto a
+// dense [0, M) range before mining.
+type Item int32
+
+// Itemset is a canonical (sorted, duplicate-free) set of items. The zero
+// value is the empty itemset. Itemsets are treated as immutable: all methods
+// return new values and never alias the receiver's backing array in a way
+// that permits mutation through the result.
+type Itemset struct {
+	items []Item // sorted ascending, no duplicates
+}
+
+// New builds an Itemset from the given items, sorting and de-duplicating.
+func New(items ...Item) Itemset {
+	if len(items) == 0 {
+		return Itemset{}
+	}
+	s := make([]Item, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:1]
+	for _, it := range s[1:] {
+		if it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return Itemset{items: out}
+}
+
+// FromSorted wraps an already sorted, duplicate-free slice without copying.
+// The caller must not modify the slice afterwards. It panics if the slice is
+// not strictly increasing, because a silently mis-ordered itemset corrupts
+// every map keyed by Key.
+func FromSorted(items []Item) Itemset {
+	for i := 1; i < len(items); i++ {
+		if items[i] <= items[i-1] {
+			panic(fmt.Sprintf("itemset: FromSorted input not strictly increasing at %d", i))
+		}
+	}
+	return Itemset{items: items}
+}
+
+// Len returns the number of items.
+func (s Itemset) Len() int { return len(s.items) }
+
+// Empty reports whether the itemset has no items.
+func (s Itemset) Empty() bool { return len(s.items) == 0 }
+
+// Items returns the items in ascending order. The returned slice must not be
+// modified.
+func (s Itemset) Items() []Item { return s.items }
+
+// At returns the i-th smallest item.
+func (s Itemset) At(i int) Item { return s.items[i] }
+
+// Contains reports whether item is a member of s.
+func (s Itemset) Contains(item Item) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= item })
+	return i < len(s.items) && s.items[i] == item
+}
+
+// ContainsAll reports whether other ⊆ s.
+func (s Itemset) ContainsAll(other Itemset) bool {
+	if other.Len() > s.Len() {
+		return false
+	}
+	i := 0
+	for _, o := range other.items {
+		for i < len(s.items) && s.items[i] < o {
+			i++
+		}
+		if i == len(s.items) || s.items[i] != o {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Equal reports whether s and other hold exactly the same items.
+func (s Itemset) Equal(other Itemset) bool {
+	if len(s.items) != len(other.items) {
+		return false
+	}
+	for i, it := range s.items {
+		if other.items[i] != it {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ other.
+func (s Itemset) Union(other Itemset) Itemset {
+	out := make([]Item, 0, len(s.items)+len(other.items))
+	i, j := 0, 0
+	for i < len(s.items) && j < len(other.items) {
+		switch {
+		case s.items[i] < other.items[j]:
+			out = append(out, s.items[i])
+			i++
+		case s.items[i] > other.items[j]:
+			out = append(out, other.items[j])
+			j++
+		default:
+			out = append(out, s.items[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.items[i:]...)
+	out = append(out, other.items[j:]...)
+	return Itemset{items: out}
+}
+
+// Intersect returns s ∩ other.
+func (s Itemset) Intersect(other Itemset) Itemset {
+	out := make([]Item, 0, min(len(s.items), len(other.items)))
+	i, j := 0, 0
+	for i < len(s.items) && j < len(other.items) {
+		switch {
+		case s.items[i] < other.items[j]:
+			i++
+		case s.items[i] > other.items[j]:
+			j++
+		default:
+			out = append(out, s.items[i])
+			i++
+			j++
+		}
+	}
+	return Itemset{items: out}
+}
+
+// Minus returns s \ other.
+func (s Itemset) Minus(other Itemset) Itemset {
+	out := make([]Item, 0, len(s.items))
+	j := 0
+	for _, it := range s.items {
+		for j < len(other.items) && other.items[j] < it {
+			j++
+		}
+		if j < len(other.items) && other.items[j] == it {
+			continue
+		}
+		out = append(out, it)
+	}
+	return Itemset{items: out}
+}
+
+// With returns s ∪ {item}.
+func (s Itemset) With(item Item) Itemset {
+	if s.Contains(item) {
+		return s
+	}
+	out := make([]Item, 0, len(s.items)+1)
+	inserted := false
+	for _, it := range s.items {
+		if !inserted && item < it {
+			out = append(out, item)
+			inserted = true
+		}
+		out = append(out, it)
+	}
+	if !inserted {
+		out = append(out, item)
+	}
+	return Itemset{items: out}
+}
+
+// Without returns s \ {item}.
+func (s Itemset) Without(item Item) Itemset {
+	if !s.Contains(item) {
+		return s
+	}
+	out := make([]Item, 0, len(s.items)-1)
+	for _, it := range s.items {
+		if it != item {
+			out = append(out, it)
+		}
+	}
+	return Itemset{items: out}
+}
+
+// Key returns a compact string usable as a map key. Two itemsets have equal
+// keys iff they are Equal.
+func (s Itemset) Key() string {
+	if len(s.items) == 0 {
+		return ""
+	}
+	// Each item encoded little-endian in 4 bytes; fixed width keeps the key
+	// prefix-free across lengths.
+	var b strings.Builder
+	b.Grow(4 * len(s.items))
+	for _, it := range s.items {
+		v := uint32(it)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// String renders the itemset as "{a,b,c}" with numeric items, or letters for
+// items 0..25 to match the paper's running examples.
+func (s Itemset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range s.items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itemString(it))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itemString(it Item) string {
+	if it >= 0 && it < 26 {
+		return string(rune('a' + it))
+	}
+	return fmt.Sprintf("i%d", it)
+}
+
+// Subsets calls fn for every subset of s, including the empty itemset and s
+// itself. Enumeration order is by binary counter over item positions. If fn
+// returns false, enumeration stops early. Subsets panics when s has more than
+// 30 items, because 2^|s| enumeration is certainly a bug at that size.
+func (s Itemset) Subsets(fn func(Itemset) bool) {
+	n := len(s.items)
+	if n > 30 {
+		panic("itemset: Subsets on itemset larger than 30 items")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		sub := make([]Item, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, s.items[i])
+			}
+		}
+		if !fn(Itemset{items: sub}) {
+			return
+		}
+	}
+}
+
+// ProperSubsets calls fn for every proper, non-empty subset of s.
+func (s Itemset) ProperSubsets(fn func(Itemset) bool) {
+	n := len(s.items)
+	s.Subsets(func(sub Itemset) bool {
+		if sub.Len() == 0 || sub.Len() == n {
+			return true
+		}
+		return fn(sub)
+	})
+}

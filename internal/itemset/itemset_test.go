@@ -1,0 +1,291 @@
+package itemset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	s := New(3, 1, 2, 1, 3)
+	want := []Item{1, 2, 3}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i, it := range s.Items() {
+		if it != want[i] {
+			t.Errorf("Items()[%d] = %d, want %d", i, it, want[i])
+		}
+	}
+}
+
+func TestEmptyItemset(t *testing.T) {
+	var zero Itemset
+	if !zero.Empty() || zero.Len() != 0 {
+		t.Error("zero Itemset not empty")
+	}
+	if !New().Equal(zero) {
+		t.Error("New() != zero value")
+	}
+	if zero.Key() != "" {
+		t.Error("empty Key not empty string")
+	}
+	if zero.Contains(0) {
+		t.Error("empty Contains(0)")
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted on unsorted input did not panic")
+		}
+	}()
+	FromSorted([]Item{2, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted on duplicate input did not panic")
+		}
+	}()
+	FromSorted([]Item{1, 1})
+}
+
+func TestContains(t *testing.T) {
+	s := New(1, 5, 9)
+	for _, tc := range []struct {
+		item Item
+		want bool
+	}{{1, true}, {5, true}, {9, true}, {0, false}, {4, false}, {10, false}} {
+		if got := s.Contains(tc.item); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.item, got, tc.want)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := New(1, 2, 3, 5)
+	cases := []struct {
+		sub  Itemset
+		want bool
+	}{
+		{New(), true},
+		{New(1), true},
+		{New(1, 3), true},
+		{New(1, 2, 3, 5), true},
+		{New(4), false},
+		{New(1, 4), false},
+		{New(1, 2, 3, 5, 7), false},
+	}
+	for _, tc := range cases {
+		if got := s.ContainsAll(tc.sub); got != tc.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", tc.sub, got, tc.want)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(2, 3, 4)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(2, 3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(New(4)) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := New(2, 4)
+	if got := s.With(3); !got.Equal(New(2, 3, 4)) {
+		t.Errorf("With(3) = %v", got)
+	}
+	if got := s.With(1); !got.Equal(New(1, 2, 4)) {
+		t.Errorf("With(1) = %v", got)
+	}
+	if got := s.With(5); !got.Equal(New(2, 4, 5)) {
+		t.Errorf("With(5) = %v", got)
+	}
+	if got := s.With(2); !got.Equal(s) {
+		t.Errorf("With(existing) = %v", got)
+	}
+	if got := s.Without(2); !got.Equal(New(4)) {
+		t.Errorf("Without(2) = %v", got)
+	}
+	if got := s.Without(7); !got.Equal(s) {
+		t.Errorf("Without(absent) = %v", got)
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	s := New(2, 4)
+	_ = s.With(3)
+	if !s.Equal(New(2, 4)) {
+		t.Error("With mutated receiver")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	sets := []Itemset{
+		New(), New(0), New(1), New(0, 1), New(0, 256),
+		New(256), New(1, 2, 3), New(1, 2), New(3),
+	}
+	keys := map[string]Itemset{}
+	for _, s := range sets {
+		if prev, ok := keys[s.Key()]; ok {
+			t.Errorf("key collision between %v and %v", prev, s)
+		}
+		keys[s.Key()] = s
+	}
+}
+
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		ia := make([]Item, len(a))
+		for i, v := range a {
+			ia[i] = Item(v)
+		}
+		ib := make([]Item, len(b))
+		for i, v := range b {
+			ib[i] = Item(v)
+		}
+		sa, sb := New(ia...), New(ib...)
+		return (sa.Key() == sb.Key()) == sa.Equal(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(0, 1, 2).String(); got != "{a,b,c}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(30).String(); got != "{i30}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSubsetsCount(t *testing.T) {
+	s := New(1, 2, 3)
+	n := 0
+	s.Subsets(func(Itemset) bool { n++; return true })
+	if n != 8 {
+		t.Errorf("Subsets visited %d, want 8", n)
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := New(1, 2, 3)
+	n := 0
+	s.Subsets(func(Itemset) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestProperSubsets(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []Itemset
+	s.ProperSubsets(func(sub Itemset) bool {
+		got = append(got, sub)
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("ProperSubsets visited %d, want 6", len(got))
+	}
+	for _, sub := range got {
+		if sub.Len() == 0 || sub.Len() == 3 {
+			t.Errorf("ProperSubsets yielded %v", sub)
+		}
+		if !s.ContainsAll(sub) {
+			t.Errorf("ProperSubsets yielded non-subset %v", sub)
+		}
+	}
+}
+
+func TestSubsetsAreSubsetsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		items := make([]Item, len(raw))
+		for i, v := range raw {
+			items[i] = Item(v)
+		}
+		s := New(items...)
+		ok := true
+		count := 0
+		s.Subsets(func(sub Itemset) bool {
+			count++
+			if !s.ContainsAll(sub) {
+				ok = false
+			}
+			return true
+		})
+		return ok && count == 1<<s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ia := make([]Item, len(a))
+		for i, v := range a {
+			ia[i] = Item(v)
+		}
+		ib := make([]Item, len(b))
+		for i, v := range b {
+			ib[i] = Item(v)
+		}
+		sa, sb := New(ia...), New(ib...)
+		u1, u2 := sa.Union(sb), sb.Union(sa)
+		if !u1.Equal(u2) {
+			return false
+		}
+		// Union contains both; intersection contained in both.
+		if !u1.ContainsAll(sa) || !u1.ContainsAll(sb) {
+			return false
+		}
+		in := sa.Intersect(sb)
+		return sa.ContainsAll(in) && sb.ContainsAll(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinusDisjointProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ia := make([]Item, len(a))
+		for i, v := range a {
+			ia[i] = Item(v)
+		}
+		ib := make([]Item, len(b))
+		for i, v := range b {
+			ib[i] = Item(v)
+		}
+		sa, sb := New(ia...), New(ib...)
+		d := sa.Minus(sb)
+		if !d.Intersect(sb).Empty() {
+			return false
+		}
+		// d ∪ (sa ∩ sb) == sa
+		return d.Union(sa.Intersect(sb)).Equal(sa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package itemset
+
+import "strings"
+
+// Pattern is a generalized itemset: a conjunction of items that must be
+// present (Positive) and items that must be absent (Negative). The paper
+// writes a pattern such as a·b·c̄ for "contains a and b but not c".
+//
+// A Pattern with an empty Negative part is equivalent to its Positive
+// itemset. Positive and Negative must be disjoint; NewPattern enforces this.
+type Pattern struct {
+	Positive Itemset
+	Negative Itemset
+}
+
+// NewPattern builds a pattern from positive and negated item sets. It panics
+// if the two overlap, because such a pattern is unsatisfiable by construction
+// and always indicates a caller bug.
+func NewPattern(positive, negative Itemset) Pattern {
+	if !positive.Intersect(negative).Empty() {
+		panic("itemset: pattern with overlapping positive and negative parts")
+	}
+	return Pattern{Positive: positive, Negative: negative}
+}
+
+// Matches reports whether the record satisfies the pattern: it contains all
+// positive items and none of the negative ones.
+func (p Pattern) Matches(record Itemset) bool {
+	if !record.ContainsAll(p.Positive) {
+		return false
+	}
+	for _, it := range p.Negative.Items() {
+		if record.Contains(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the total number of literals (positive plus negated).
+func (p Pattern) Len() int { return p.Positive.Len() + p.Negative.Len() }
+
+// Equal reports whether two patterns have identical positive and negative
+// parts.
+func (p Pattern) Equal(other Pattern) bool {
+	return p.Positive.Equal(other.Positive) && p.Negative.Equal(other.Negative)
+}
+
+// Key returns a map key unique to the pattern.
+func (p Pattern) Key() string {
+	return p.Positive.Key() + "|" + p.Negative.Key()
+}
+
+// String renders the pattern in the paper's notation, e.g. "ab¬c" for the
+// pattern with positive {a,b} and negative {c}.
+func (p Pattern) String() string {
+	var b strings.Builder
+	for _, it := range p.Positive.Items() {
+		b.WriteString(itemString(it))
+	}
+	for _, it := range p.Negative.Items() {
+		b.WriteString("¬")
+		b.WriteString(itemString(it))
+	}
+	if b.Len() == 0 {
+		return "∅"
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package itemset
+
+import "testing"
+
+func TestPatternMatches(t *testing.T) {
+	// Pattern ab¬c from the paper's running example.
+	p := NewPattern(New(0, 1), New(2))
+	cases := []struct {
+		record Itemset
+		want   bool
+	}{
+		{New(0, 1), true},
+		{New(0, 1, 3), true},
+		{New(0, 1, 2), false},
+		{New(0), false},
+		{New(1, 3), false},
+		{New(), false},
+	}
+	for _, tc := range cases {
+		if got := p.Matches(tc.record); got != tc.want {
+			t.Errorf("Matches(%v) = %v, want %v", tc.record, got, tc.want)
+		}
+	}
+}
+
+func TestPatternPureItemset(t *testing.T) {
+	p := NewPattern(New(1, 2), New())
+	if !p.Matches(New(1, 2, 3)) {
+		t.Error("pure positive pattern should match superset record")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestPatternOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping pattern did not panic")
+		}
+	}()
+	NewPattern(New(1, 2), New(2, 3))
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern(New(0, 1), New(2))
+	if got := p.String(); got != "ab¬c" {
+		t.Errorf("String = %q", got)
+	}
+	empty := NewPattern(New(), New())
+	if got := empty.String(); got != "∅" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPatternKeyAndEqual(t *testing.T) {
+	p1 := NewPattern(New(0, 1), New(2))
+	p2 := NewPattern(New(0, 1), New(2))
+	p3 := NewPattern(New(0, 1, 2), New())
+	p4 := NewPattern(New(0), New(1, 2))
+	if !p1.Equal(p2) || p1.Key() != p2.Key() {
+		t.Error("identical patterns not equal")
+	}
+	if p1.Equal(p3) || p1.Key() == p3.Key() {
+		t.Error("distinct patterns compare equal")
+	}
+	if p1.Equal(p4) || p1.Key() == p4.Key() {
+		t.Error("moving items between parts should change identity")
+	}
+}
+
+func TestDatabaseSupport(t *testing.T) {
+	// The stream of Fig. 2, window Ds(12, 8) = records r5..r12.
+	// Items: a=0 b=1 c=2 d=3.
+	db := NewDatabase([]Itemset{
+		New(0),          // r5: a
+		New(0, 1, 2),    // r6: abc
+		New(1, 2, 3),    // r7: bcd
+		New(0, 1, 2),    // r8: abc (matches ab¬d? no—wait, just fixture)
+		New(0, 2, 3),    // r9: acd
+		New(1, 2, 3),    // r10: bcd
+		New(0, 1, 2, 3), // r11: abcd
+		New(2, 3),       // r12: cd
+	})
+	if got := db.Support(New(2)); got != 7 {
+		t.Errorf("T(c) = %d, want 7", got)
+	}
+	if got := db.Support(New(0, 1, 2)); got != 3 {
+		t.Errorf("T(abc) = %d, want 3", got)
+	}
+	if got := db.Support(New()); got != 8 {
+		t.Errorf("T({}) = %d, want window size 8", got)
+	}
+	// Pattern ab¬c: contains a,b but not c.
+	p := NewPattern(New(0, 1), New(2))
+	if got := db.PatternSupport(p); got != 0 {
+		t.Errorf("T(ab¬c) = %d, want 0", got)
+	}
+	// Pattern a¬b: r5, r9 → 2.
+	p2 := NewPattern(New(0), New(1))
+	if got := db.PatternSupport(p2); got != 2 {
+		t.Errorf("T(a¬b) = %d, want 2", got)
+	}
+}
+
+func TestDatabaseItems(t *testing.T) {
+	db := NewDatabase([]Itemset{New(5, 1), New(3), New(1)})
+	items := db.Items()
+	want := []Item{1, 3, 5}
+	if len(items) != len(want) {
+		t.Fatalf("Items = %v", items)
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("Items = %v, want %v", items, want)
+		}
+	}
+}
+
+func TestDatabaseItemSupports(t *testing.T) {
+	db := NewDatabase([]Itemset{New(1, 2), New(2), New(2, 3)})
+	got := db.ItemSupports()
+	if got[1] != 1 || got[2] != 3 || got[3] != 1 {
+		t.Errorf("ItemSupports = %v", got)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := NewDatabase(nil)
+	if db.Len() != 0 {
+		t.Error("empty database Len != 0")
+	}
+	if db.Support(New(1)) != 0 {
+		t.Error("support in empty database != 0")
+	}
+	if len(db.Items()) != 0 {
+		t.Error("Items in empty database not empty")
+	}
+}

@@ -1,0 +1,207 @@
+// Package lattice implements the attack techniques of §IV of the Butterfly
+// paper: the itemset lattice X_I^J = {X : I ⊆ X ⊆ J}, derivation of
+// generalized-pattern supports by the inclusion–exclusion principle, and
+// non-derivable-itemset style support bounds (Calders & Goethals) that let
+// an adversary complete missing supports from published ones.
+package lattice
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+)
+
+// SupportLookup resolves the (believed) support of an itemset, returning
+// ok=false when the adversary has no value for it. The empty itemset should
+// resolve to the database/window size — every attacker knows it.
+type SupportLookup func(itemset.Itemset) (int, bool)
+
+// MapLookup adapts a map keyed by itemset.Key() to a SupportLookup, with the
+// window size answering for the empty itemset.
+func MapLookup(m map[string]int, windowSize int) SupportLookup {
+	return func(s itemset.Itemset) (int, bool) {
+		if s.Empty() {
+			return windowSize, true
+		}
+		v, ok := m[s.Key()]
+		return v, ok
+	}
+}
+
+// maxLatticeItems caps |J \ I| in lattice enumerations: 2^20 nodes is far
+// beyond anything a real attack evaluates and certainly a caller bug.
+const maxLatticeItems = 20
+
+// Enumerate visits every X with I ⊆ X ⊆ J, invoking fn(X, |X \ I|). It
+// returns an error if I ⊄ J or the lattice is unreasonably large. If fn
+// returns false, enumeration stops early.
+func Enumerate(i, j itemset.Itemset, fn func(x itemset.Itemset, dist int) bool) error {
+	if !j.ContainsAll(i) {
+		return fmt.Errorf("lattice: %v is not a subset of %v", i, j)
+	}
+	free := j.Minus(i)
+	if free.Len() > maxLatticeItems {
+		return fmt.Errorf("lattice: |J\\I| = %d exceeds limit %d", free.Len(), maxLatticeItems)
+	}
+	stop := false
+	free.Subsets(func(sub itemset.Itemset) bool {
+		if !fn(i.Union(sub), sub.Len()) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	_ = stop
+	return nil
+}
+
+// DerivePattern computes the exact support of the pattern I·¬(J\I) by
+// inclusion–exclusion over the lattice X_I^J:
+//
+//	T(I·¬(J\I)) = Σ_{X ∈ X_I^J} (−1)^{|X\I|} T(X)
+//
+// It reports ok=false if any lattice member's support is unavailable from
+// the lookup.
+func DerivePattern(i, j itemset.Itemset, lookup SupportLookup) (support int, ok bool, err error) {
+	sum := 0
+	complete := true
+	err = Enumerate(i, j, func(x itemset.Itemset, dist int) bool {
+		v, found := lookup(x)
+		if !found {
+			complete = false
+			return false
+		}
+		if dist%2 == 0 {
+			sum += v
+		} else {
+			sum -= v
+		}
+		return true
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if !complete {
+		return 0, false, nil
+	}
+	return sum, true, nil
+}
+
+// PatternOf names the pattern derived by DerivePattern(i, j, ·).
+func PatternOf(i, j itemset.Itemset) itemset.Pattern {
+	return itemset.NewPattern(i, j.Minus(i))
+}
+
+// Interval is an inclusive integer interval [Lo, Hi]. An empty interval
+// (Lo > Hi) signals contradiction.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Tight reports whether the interval pins a single value.
+func (iv Interval) Tight() bool { return iv.Lo == iv.Hi }
+
+// Empty reports whether the interval contains no value.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Lo: max(iv.Lo, other.Lo), Hi: min(iv.Hi, other.Hi)}
+}
+
+// Shift returns the interval translated by [dlo, dhi].
+func (iv Interval) Shift(dlo, dhi int) Interval {
+	return Interval{Lo: iv.Lo + dlo, Hi: iv.Hi + dhi}
+}
+
+// String renders the interval as "[lo,hi]".
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi) }
+
+// Bounds computes the non-derivable-itemset bounds on T(J) from the
+// supports of proper subsets of J (Example 4 of the paper): for every
+// I ⊂ J whose lattice X_I^J \ {J} is fully available,
+//
+//	T(J) ≤ Σ_{I⊆X⊂J} (−1)^{|J\X|+1} T(X)   when |J \ I| is odd,
+//	T(J) ≥ Σ_{I⊆X⊂J} (−1)^{|J\X|+1} T(X)   when |J \ I| is even.
+//
+// The trivial bounds 0 ≤ T(J) ≤ windowSize always apply. The returned
+// interval is the tightest combination over all usable I.
+func Bounds(j itemset.Itemset, lookup SupportLookup, windowSize int) (Interval, error) {
+	if j.Len() > maxLatticeItems {
+		return Interval{}, fmt.Errorf("lattice: bounds on %d-itemset exceeds limit", j.Len())
+	}
+	iv := Interval{Lo: 0, Hi: windowSize}
+	var err error
+	j.Subsets(func(i itemset.Itemset) bool {
+		if i.Len() == j.Len() {
+			return true // I must be proper
+		}
+		sum := 0
+		complete := true
+		jlen := j.Len()
+		e := Enumerate(i, j, func(x itemset.Itemset, dist int) bool {
+			if x.Len() == jlen {
+				return true // X ranges over I ⊆ X ⊂ J
+			}
+			v, found := lookup(x)
+			if !found {
+				complete = false
+				return false
+			}
+			// (−1)^{|J\X|+1}: positive when |J\X| is odd.
+			if (jlen-x.Len())%2 == 1 {
+				sum += v
+			} else {
+				sum -= v
+			}
+			return true
+		})
+		if e != nil {
+			err = e
+			return false
+		}
+		if !complete {
+			return true
+		}
+		if (jlen-i.Len())%2 == 1 {
+			if sum < iv.Hi {
+				iv.Hi = sum
+			}
+		} else {
+			if sum > iv.Lo {
+				iv.Lo = sum
+			}
+		}
+		return true
+	})
+	return iv, err
+}
+
+// DerivePatternInterval is the interval arithmetic analogue of
+// DerivePattern: each lattice member contributes its interval (exact values
+// are degenerate intervals), signs alternate, and the result brackets the
+// true pattern support. resolve supplies the interval for each lattice
+// member; returning ok=false aborts with ok=false.
+func DerivePatternInterval(i, j itemset.Itemset, resolve func(itemset.Itemset) (Interval, bool)) (Interval, bool, error) {
+	lo, hi := 0, 0
+	complete := true
+	err := Enumerate(i, j, func(x itemset.Itemset, dist int) bool {
+		iv, found := resolve(x)
+		if !found {
+			complete = false
+			return false
+		}
+		if dist%2 == 0 {
+			lo += iv.Lo
+			hi += iv.Hi
+		} else {
+			lo -= iv.Hi
+			hi -= iv.Lo
+		}
+		return true
+	})
+	if err != nil || !complete {
+		return Interval{}, false, err
+	}
+	return Interval{Lo: lo, Hi: hi}, true, nil
+}

@@ -1,0 +1,156 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/rng"
+)
+
+// Bounds on a singleton: only I = ∅ applies, giving [T(∅)-Σ... , min(...)];
+// with nothing else published the result is the trivial window bounds.
+func TestBoundsSingletonTrivial(t *testing.T) {
+	lookup := func(s itemset.Itemset) (int, bool) {
+		if s.Empty() {
+			return 10, true
+		}
+		return 0, false
+	}
+	iv, err := Bounds(itemset.New(1), lookup, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I=∅, |J\I|=1 odd: T(J) <= T(∅) = 10. Lower stays 0.
+	if iv.Lo != 0 || iv.Hi != 10 {
+		t.Errorf("bounds = %v, want [0,10]", iv)
+	}
+}
+
+// DerivePattern with I == J degenerates to the itemset's own support.
+func TestDerivePatternSelf(t *testing.T) {
+	j := itemset.New(1, 2)
+	lookup := func(s itemset.Itemset) (int, bool) {
+		if s.Equal(j) {
+			return 7, true
+		}
+		return 0, false
+	}
+	got, ok, err := DerivePattern(j, j, lookup)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got != 7 {
+		t.Errorf("T(J(∅)) = %d, want 7", got)
+	}
+}
+
+// Sanitized (even negative) supports must not break the arithmetic: the
+// derivation is a plain signed sum.
+func TestDerivePatternWithNegativeValues(t *testing.T) {
+	lookup := func(s itemset.Itemset) (int, bool) {
+		switch s.Len() {
+		case 1:
+			return -2, true
+		case 2:
+			return 3, true
+		default:
+			return 5, true
+		}
+	}
+	got, ok, err := DerivePattern(itemset.New(1), itemset.New(1, 2), lookup)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	// T(1¬2) = T(1) - T(12) = -2 - 3 = -5. Nonsense as a support, but the
+	// adversary's arithmetic over sanitized values must be exactly this.
+	if got != -5 {
+		t.Errorf("derived %d, want -5", got)
+	}
+}
+
+// Bounds must never return Lo > Hi on consistent (true-support) input.
+func TestBoundsNeverInvertedOnTruth(t *testing.T) {
+	src := rng.New(83)
+	for trial := 0; trial < 60; trial++ {
+		n := 10 + src.Intn(20)
+		recs := make([]itemset.Itemset, n)
+		for i := range recs {
+			var items []itemset.Item
+			for b := 0; b < 4; b++ {
+				if src.Intn(2) == 1 {
+					items = append(items, itemset.Item(b))
+				}
+			}
+			recs[i] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		j := itemset.New(0, 1, 2, 3)
+		lookup := func(x itemset.Itemset) (int, bool) {
+			if x.Equal(j) {
+				return 0, false
+			}
+			return db.Support(x), true
+		}
+		iv, err := Bounds(j, lookup, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Empty() {
+			t.Fatalf("trial %d: inverted bounds %v on consistent input", trial, iv)
+		}
+	}
+}
+
+// The tightest-I property: adding more published subsets can only narrow
+// (never widen) the bounds.
+func TestBoundsMonotoneInInformation(t *testing.T) {
+	src := rng.New(89)
+	for trial := 0; trial < 30; trial++ {
+		n := 12 + src.Intn(12)
+		recs := make([]itemset.Itemset, n)
+		for i := range recs {
+			var items []itemset.Item
+			for b := 0; b < 3; b++ {
+				if src.Intn(2) == 1 {
+					items = append(items, itemset.Item(b))
+				}
+			}
+			recs[i] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		j := itemset.New(0, 1, 2)
+
+		// Partial view: only singletons. Full view: all proper subsets.
+		partial := func(x itemset.Itemset) (int, bool) {
+			if x.Empty() || x.Len() == 1 {
+				return db.Support(x), true
+			}
+			return 0, false
+		}
+		full := func(x itemset.Itemset) (int, bool) {
+			if x.Equal(j) {
+				return 0, false
+			}
+			return db.Support(x), true
+		}
+		ivPartial, err := Bounds(j, partial, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ivFull, err := Bounds(j, full, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivFull.Lo < ivPartial.Lo || ivFull.Hi > ivPartial.Hi {
+			t.Fatalf("trial %d: more information widened bounds: %v -> %v",
+				trial, ivPartial, ivFull)
+		}
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	p := PatternOf(itemset.New(1), itemset.New(1, 2, 3))
+	if !p.Positive.Equal(itemset.New(1)) || !p.Negative.Equal(itemset.New(2, 3)) {
+		t.Errorf("PatternOf = %v", p)
+	}
+}

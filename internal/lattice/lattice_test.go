@@ -1,0 +1,302 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+	"repro/internal/paperex"
+	"repro/internal/rng"
+)
+
+// dbLookup exposes the true supports of a database as a SupportLookup.
+func dbLookup(db *itemset.Database) SupportLookup {
+	return func(s itemset.Itemset) (int, bool) {
+		return db.Support(s), true
+	}
+}
+
+func TestEnumerateLattice(t *testing.T) {
+	i := itemset.New(2)       // c
+	j := itemset.New(0, 1, 2) // abc
+	var got []string
+	err := Enumerate(i, j, func(x itemset.Itemset, dist int) bool {
+		got = append(got, x.String())
+		if dist != x.Len()-1 {
+			t.Errorf("dist for %v = %d", x, dist)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("lattice X_c^abc has %d nodes, want 4: %v", len(got), got)
+	}
+}
+
+func TestEnumerateRejectsNonSubset(t *testing.T) {
+	if err := Enumerate(itemset.New(9), itemset.New(1, 2), func(itemset.Itemset, int) bool { return true }); err == nil {
+		t.Fatal("Enumerate accepted I ⊄ J")
+	}
+}
+
+func TestEnumerateRejectsHugeLattice(t *testing.T) {
+	items := make([]itemset.Item, 25)
+	for i := range items {
+		items[i] = itemset.Item(i)
+	}
+	if err := Enumerate(itemset.New(), itemset.New(items...), func(itemset.Itemset, int) bool { return true }); err == nil {
+		t.Fatal("Enumerate accepted 25-item free set")
+	}
+}
+
+// Example 3 of the paper: with the true supports of X_c^abc in Ds(12,8),
+// the pattern c·¬a·¬b derives to support 1.
+func TestDerivePatternExample3(t *testing.T) {
+	db := paperex.Window12()
+	i := itemset.New(paperex.C)
+	j := itemset.New(paperex.A, paperex.B, paperex.C)
+	got, ok, err := DerivePattern(i, j, dbLookup(db))
+	if err != nil || !ok {
+		t.Fatalf("derive failed: ok=%v err=%v", ok, err)
+	}
+	if got != 1 {
+		t.Errorf("derived support = %d, want 1", got)
+	}
+	p := PatternOf(i, j)
+	if truth := db.PatternSupport(p); truth != got {
+		t.Errorf("derived %d but ground truth is %d", got, truth)
+	}
+}
+
+func TestDerivePatternIncomplete(t *testing.T) {
+	// Hide abc from the lookup: derivation must report not-ok.
+	db := paperex.Window12()
+	abc := itemset.New(paperex.A, paperex.B, paperex.C)
+	lookup := func(s itemset.Itemset) (int, bool) {
+		if s.Equal(abc) {
+			return 0, false
+		}
+		return db.Support(s), true
+	}
+	_, ok, err := DerivePattern(itemset.New(paperex.C), abc, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("derivation claimed success with a missing lattice member")
+	}
+}
+
+// Property: inclusion–exclusion over true supports always equals the true
+// pattern support, for random databases and random I ⊂ J.
+func TestDerivePatternMatchesGroundTruth(t *testing.T) {
+	src := rng.New(55)
+	f := func(seed uint32) bool {
+		s := rng.New(uint64(seed))
+		// Random database over 6 items.
+		recs := make([]itemset.Itemset, 20+s.Intn(30))
+		for r := range recs {
+			n := 1 + s.Intn(4)
+			items := make([]itemset.Item, 0, n)
+			for k := 0; k < n; k++ {
+				items = append(items, itemset.Item(s.Intn(6)))
+			}
+			recs[r] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		// Random J (2..4 items), random proper subset I.
+		jn := 2 + s.Intn(3)
+		var jitems []itemset.Item
+		for k := 0; k < jn; k++ {
+			jitems = append(jitems, itemset.Item(s.Intn(6)))
+		}
+		j := itemset.New(jitems...)
+		if j.Len() < 2 {
+			return true
+		}
+		i := j.Without(j.At(s.Intn(j.Len())))
+		got, ok, err := DerivePattern(i, j, dbLookup(db))
+		if err != nil || !ok {
+			return false
+		}
+		return got == db.PatternSupport(PatternOf(i, j))
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: nil}
+	_ = src
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Example 4 of the paper: given c, ac, bc (but not abc) in Ds(12,8), the
+// bounds on T(abc) are [2,5].
+func TestBoundsExample4(t *testing.T) {
+	db := paperex.Window12()
+	published := map[string]int{
+		itemset.New(paperex.C).Key():            db.Support(itemset.New(paperex.C)),
+		itemset.New(paperex.A, paperex.C).Key(): db.Support(itemset.New(paperex.A, paperex.C)),
+		itemset.New(paperex.B, paperex.C).Key(): db.Support(itemset.New(paperex.B, paperex.C)),
+	}
+	iv, err := Bounds(itemset.New(paperex.A, paperex.B, paperex.C), MapLookup(published, 8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 2 || iv.Hi != 5 {
+		t.Errorf("bounds = %v, want [2,5]", iv)
+	}
+	if iv.Tight() {
+		t.Error("bounds should not be tight in Example 4")
+	}
+}
+
+// Property: with full subset information the bounds always contain the true
+// support. This is the soundness property the inter-window attack leans on.
+func TestBoundsContainTruth(t *testing.T) {
+	f := func(seed uint32) bool {
+		s := rng.New(uint64(seed))
+		recs := make([]itemset.Itemset, 15+s.Intn(25))
+		for r := range recs {
+			n := 1 + s.Intn(4)
+			items := make([]itemset.Item, 0, n)
+			for k := 0; k < n; k++ {
+				items = append(items, itemset.Item(s.Intn(5)))
+			}
+			recs[r] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		jn := 2 + s.Intn(2)
+		var jitems []itemset.Item
+		for k := 0; k < jn; k++ {
+			jitems = append(jitems, itemset.Item(s.Intn(5)))
+		}
+		j := itemset.New(jitems...)
+		if j.Len() < 2 {
+			return true
+		}
+		// Lookup exposes everything except J itself.
+		lookup := func(x itemset.Itemset) (int, bool) {
+			if x.Equal(j) {
+				return 0, false
+			}
+			return db.Support(x), true
+		}
+		iv, err := Bounds(j, lookup, db.Len())
+		if err != nil {
+			return false
+		}
+		truth := db.Support(j)
+		return iv.Lo <= truth && truth <= iv.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With ALL proper subsets of a 2-itemset published, the bounds include
+// max(0, T(a)+T(b)-N) and min(T(a),T(b)) — verify a hand case.
+func TestBoundsPairHandCase(t *testing.T) {
+	// N=10, T(a)=7, T(b)=6, T(ab)=4.
+	recs := []itemset.Itemset{}
+	for i := 0; i < 4; i++ {
+		recs = append(recs, itemset.New(0, 1))
+	}
+	for i := 0; i < 3; i++ {
+		recs = append(recs, itemset.New(0))
+	}
+	for i := 0; i < 2; i++ {
+		recs = append(recs, itemset.New(1))
+	}
+	recs = append(recs, itemset.New(2))
+	db := itemset.NewDatabase(recs)
+	lookup := func(x itemset.Itemset) (int, bool) {
+		if x.Equal(itemset.New(0, 1)) {
+			return 0, false
+		}
+		return db.Support(x), true
+	}
+	iv, err := Bounds(itemset.New(0, 1), lookup, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower: T(a)+T(b)-N = 3; upper: min(T(a),T(b)) = 6.
+	if iv.Lo != 3 || iv.Hi != 6 {
+		t.Errorf("bounds = %v, want [3,6]", iv)
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{2, 5}
+	b := Interval{4, 9}
+	if got := a.Intersect(b); got.Lo != 4 || got.Hi != 5 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !(Interval{3, 3}).Tight() {
+		t.Error("degenerate interval not Tight")
+	}
+	if (Interval{3, 4}).Tight() {
+		t.Error("wide interval reported Tight")
+	}
+	if !(Interval{5, 4}).Empty() {
+		t.Error("inverted interval not Empty")
+	}
+	if got := a.Shift(-1, 1); got.Lo != 1 || got.Hi != 6 {
+		t.Errorf("Shift = %v", got)
+	}
+	if got := a.String(); got != "[2,5]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDerivePatternInterval(t *testing.T) {
+	db := paperex.Window12()
+	j := itemset.New(paperex.A, paperex.B, paperex.C)
+	i := itemset.New(paperex.C)
+	// abc unknown but bounded [2,5]; everything else exact.
+	resolve := func(x itemset.Itemset) (Interval, bool) {
+		if x.Equal(j) {
+			return Interval{2, 5}, true
+		}
+		v := db.Support(x)
+		return Interval{v, v}, true
+	}
+	iv, ok, err := DerivePatternInterval(i, j, resolve)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// T(c¬a¬b) = T(c)-T(ac)-T(bc)+T(abc) = 8-5-5+[2,5] = [0,3].
+	if iv.Lo != 0 || iv.Hi != 3 {
+		t.Errorf("interval = %v, want [0,3]", iv)
+	}
+	// Truth (1) inside.
+	truth := db.PatternSupport(PatternOf(i, j))
+	if truth < iv.Lo || truth > iv.Hi {
+		t.Errorf("truth %d outside %v", truth, iv)
+	}
+}
+
+func TestDerivePatternIntervalIncomplete(t *testing.T) {
+	_, ok, err := DerivePatternInterval(itemset.New(1), itemset.New(1, 2),
+		func(x itemset.Itemset) (Interval, bool) { return Interval{}, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("interval derivation claimed success with no data")
+	}
+}
+
+func TestMapLookup(t *testing.T) {
+	m := map[string]int{itemset.New(1).Key(): 7}
+	l := MapLookup(m, 42)
+	if v, ok := l(itemset.New()); !ok || v != 42 {
+		t.Errorf("empty itemset = %d,%v", v, ok)
+	}
+	if v, ok := l(itemset.New(1)); !ok || v != 7 {
+		t.Errorf("{1} = %d,%v", v, ok)
+	}
+	if _, ok := l(itemset.New(2)); ok {
+		t.Error("absent itemset resolved")
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics implements the utility and privacy measures of §V-C and
+// §VII-B of the Butterfly paper: precision degradation (pred / avg_pred),
+// privacy guarantee (prig / avg_prig), the rate of order-preserved pairs
+// (ropp) and the rate of ratio-preserved pairs (rrpp).
+package metrics
+
+// Pair couples the true support of one published itemset with its sanitized
+// value. The order metrics operate on slices of Pairs — one per published
+// itemset of a window.
+type Pair struct {
+	True      int
+	Sanitized int
+}
+
+// RelSquaredError returns (est − truth)²/truth², the building block of both
+// pred and the empirical prig. It panics on truth == 0: vulnerable patterns
+// with zero support are excluded from Phv by definition and published
+// itemsets have support >= C > 0.
+func RelSquaredError(truth float64, est float64) float64 {
+	if truth == 0 {
+		panic("metrics: relative error undefined at zero truth")
+	}
+	d := (est - truth) / truth
+	return d * d
+}
+
+// AvgPred returns the average precision degradation over published itemsets:
+// mean of (T̃(X) − T(X))²/T(X)². An empty slice yields 0.
+func AvgPred(pairs []Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pairs {
+		sum += RelSquaredError(float64(p.True), float64(p.Sanitized))
+	}
+	return sum / float64(len(pairs))
+}
+
+// PatternEstimate couples the true support of one inferable vulnerable
+// pattern with the adversary's estimate of it from sanitized output.
+type PatternEstimate struct {
+	True     int
+	Estimate float64
+}
+
+// AvgPrig returns the average privacy guarantee over the inferable
+// vulnerable patterns: mean of (T̂(p) − T(p))²/T(p)². Patterns with zero
+// true support are skipped (prig is undefined there; the paper's Phv
+// requires support > 0). An empty or all-skipped slice yields 0.
+func AvgPrig(ests []PatternEstimate) float64 {
+	sum, n := 0.0, 0
+	for _, e := range ests {
+		if e.True == 0 {
+			continue
+		}
+		sum += RelSquaredError(float64(e.True), e.Estimate)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ROPP returns the rate of order-preserved pairs: over every unordered pair
+// of published itemsets with T(I) <= T(J), the fraction whose sanitized
+// supports satisfy T̃(I) <= T̃(J). Pairs with equal true support count as
+// preserved only when the sanitized values are also equal — each of the two
+// ordered readings of the paper's condition contributes half otherwise.
+// Fewer than two itemsets yield 1 (nothing to invert).
+func ROPP(pairs []Pair) float64 {
+	n := len(pairs)
+	if n < 2 {
+		return 1
+	}
+	preserved, total := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := pairs[i], pairs[j]
+			total++
+			switch {
+			case a.True < b.True:
+				if a.Sanitized <= b.Sanitized {
+					preserved++
+				}
+			case a.True > b.True:
+				if b.Sanitized <= a.Sanitized {
+					preserved++
+				}
+			default: // tie in true support
+				if a.Sanitized == b.Sanitized {
+					preserved++
+				} else {
+					preserved += 0.5
+				}
+			}
+		}
+	}
+	return preserved / total
+}
+
+// RRPP returns the rate of ratio-preserved pairs at tightness k ∈ (0,1):
+// over every unordered pair with T(I) <= T(J), the fraction whose sanitized
+// ratio lands within [k, 1/k] of the true ratio:
+//
+//	k·T(I)/T(J) <= T̃(I)/T̃(J) <= (1/k)·T(I)/T(J)
+//
+// Pairs whose sanitized denominator is non-positive never preserve the
+// ratio. Fewer than two itemsets yield 1.
+func RRPP(pairs []Pair, k float64) float64 {
+	if k <= 0 || k >= 1 {
+		panic("metrics: RRPP needs k in (0,1)")
+	}
+	n := len(pairs)
+	if n < 2 {
+		return 1
+	}
+	preserved, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			lo, hi := pairs[i], pairs[j]
+			if lo.True > hi.True {
+				lo, hi = hi, lo
+			}
+			total++
+			if hi.True == 0 || hi.Sanitized <= 0 {
+				continue
+			}
+			trueRatio := float64(lo.True) / float64(hi.True)
+			sanRatio := float64(lo.Sanitized) / float64(hi.Sanitized)
+			if k*trueRatio <= sanRatio && sanRatio <= trueRatio/k {
+				preserved++
+			}
+		}
+	}
+	return float64(preserved) / float64(total)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice): the
+// experiments average per-window metrics over many windows.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelSquaredError(t *testing.T) {
+	if got := RelSquaredError(10, 12); math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("RelSquaredError(10,12) = %v, want 0.04", got)
+	}
+	if got := RelSquaredError(10, 10); got != 0 {
+		t.Errorf("exact estimate error = %v", got)
+	}
+}
+
+func TestRelSquaredErrorPanicsAtZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero truth did not panic")
+		}
+	}()
+	RelSquaredError(0, 1)
+}
+
+func TestAvgPred(t *testing.T) {
+	pairs := []Pair{{True: 10, Sanitized: 11}, {True: 20, Sanitized: 20}}
+	want := (0.01 + 0) / 2
+	if got := AvgPred(pairs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AvgPred = %v, want %v", got, want)
+	}
+	if AvgPred(nil) != 0 {
+		t.Error("empty AvgPred != 0")
+	}
+}
+
+func TestAvgPrig(t *testing.T) {
+	ests := []PatternEstimate{
+		{True: 2, Estimate: 3},   // (1/2)² = 0.25
+		{True: 1, Estimate: 0.5}, // 0.25
+		{True: 0, Estimate: 5},   // skipped
+	}
+	if got := AvgPrig(ests); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("AvgPrig = %v, want 0.25", got)
+	}
+	if AvgPrig(nil) != 0 {
+		t.Error("empty AvgPrig != 0")
+	}
+	if AvgPrig([]PatternEstimate{{True: 0, Estimate: 1}}) != 0 {
+		t.Error("all-skipped AvgPrig != 0")
+	}
+}
+
+func TestROPPPerfect(t *testing.T) {
+	pairs := []Pair{{1, 10}, {2, 20}, {3, 30}}
+	if got := ROPP(pairs); got != 1 {
+		t.Errorf("ROPP = %v, want 1", got)
+	}
+}
+
+func TestROPPSingleInversion(t *testing.T) {
+	// Sanitized order of the first two swapped: 1 of 3 pairs broken.
+	pairs := []Pair{{1, 25}, {2, 20}, {3, 30}}
+	want := 2.0 / 3
+	if got := ROPP(pairs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ROPP = %v, want %v", got, want)
+	}
+}
+
+func TestROPPTies(t *testing.T) {
+	// Equal true supports, equal sanitized: preserved.
+	if got := ROPP([]Pair{{5, 8}, {5, 8}}); got != 1 {
+		t.Errorf("tied equal = %v", got)
+	}
+	// Equal true supports, different sanitized: half credit.
+	if got := ROPP([]Pair{{5, 8}, {5, 9}}); got != 0.5 {
+		t.Errorf("tied diff = %v", got)
+	}
+}
+
+func TestROPPDegenerate(t *testing.T) {
+	if ROPP(nil) != 1 || ROPP([]Pair{{1, 1}}) != 1 {
+		t.Error("degenerate ROPP != 1")
+	}
+}
+
+func TestROPPOrderInvariance(t *testing.T) {
+	a := []Pair{{1, 5}, {3, 2}, {2, 9}}
+	b := []Pair{{2, 9}, {1, 5}, {3, 2}}
+	if ROPP(a) != ROPP(b) {
+		t.Error("ROPP depends on input order")
+	}
+}
+
+func TestRRPPExact(t *testing.T) {
+	// Sanitized = 2x true for everything: all ratios exactly preserved.
+	pairs := []Pair{{10, 20}, {20, 40}, {40, 80}}
+	if got := RRPP(pairs, 0.95); got != 1 {
+		t.Errorf("RRPP = %v, want 1", got)
+	}
+}
+
+func TestRRPPViolation(t *testing.T) {
+	// True ratio 0.5; sanitized ratio 10/11 ≈ 0.909: outside [0.475, 0.526].
+	pairs := []Pair{{10, 10}, {20, 11}}
+	if got := RRPP(pairs, 0.95); got != 0 {
+		t.Errorf("RRPP = %v, want 0", got)
+	}
+}
+
+func TestRRPPBoundary(t *testing.T) {
+	// Ratio exactly k times the truth is preserved (inclusive bound).
+	// true: 1/2, sanitized: k/2 exactly → preserved.
+	pairs := []Pair{{1, 95}, {2, 200}} // sanRatio = 0.475 = 0.95 * 0.5
+	if got := RRPP(pairs, 0.95); got != 1 {
+		t.Errorf("RRPP boundary = %v, want 1", got)
+	}
+}
+
+func TestRRPPNonPositiveSanitized(t *testing.T) {
+	pairs := []Pair{{1, 1}, {2, 0}}
+	if got := RRPP(pairs, 0.95); got != 0 {
+		t.Errorf("RRPP with zero denominator = %v, want 0", got)
+	}
+}
+
+func TestRRPPPanicsOnBadK(t *testing.T) {
+	for _, k := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%v did not panic", k)
+				}
+			}()
+			RRPP([]Pair{{1, 1}, {2, 2}}, k)
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+// Property: unperturbed output preserves everything.
+func TestIdentityPerturbationPerfect(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pairs := make([]Pair, len(raw))
+		for i, v := range raw {
+			sup := int(v) + 1
+			pairs[i] = Pair{True: sup, Sanitized: sup}
+		}
+		return ROPP(pairs) == 1 && RRPP(pairs, 0.95) == 1 && AvgPred(pairs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ROPP and RRPP always land in [0,1].
+func TestMetricsBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pairs := make([]Pair, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pairs = append(pairs, Pair{True: int(raw[i]%100) + 1, Sanitized: int(raw[i+1]) - 100})
+		}
+		if len(pairs) < 2 {
+			return true
+		}
+		r := ROPP(pairs)
+		q := RRPP(pairs, 0.95)
+		return r >= 0 && r <= 1 && q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

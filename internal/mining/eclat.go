@@ -1,0 +1,67 @@
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/itemset"
+)
+
+// Eclat mines all frequent itemsets of db with support >= minSupport using
+// depth-first search over vertical transaction-id bitmaps. It produces the
+// same Result as Apriori, typically much faster on the dense windows the
+// stream experiments use.
+func Eclat(db *itemset.Database, minSupport int) (*Result, error) {
+	if err := validate(db, minSupport); err != nil {
+		return nil, err
+	}
+	n := db.Len()
+
+	// Build vertical bitmaps for frequent single items.
+	tidmaps := map[itemset.Item]*bitset.Bitset{}
+	for tid, rec := range db.Records() {
+		for _, it := range rec.Items() {
+			bm, ok := tidmaps[it]
+			if !ok {
+				bm = bitset.New(n)
+				tidmaps[it] = bm
+			}
+			bm.Set(tid)
+		}
+	}
+
+	type vertical struct {
+		item itemset.Item
+		bm   *bitset.Bitset
+		sup  int
+	}
+	var roots []vertical
+	var out []FrequentItemset
+	for it, bm := range tidmaps {
+		if sup := bm.Count(); sup >= minSupport {
+			roots = append(roots, vertical{it, bm, sup})
+			out = append(out, FrequentItemset{itemset.New(it), sup})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].item < roots[j].item })
+
+	// Depth-first extension: at each prefix, try to extend with every
+	// frequent sibling item larger than the last one.
+	var extend func(prefix itemset.Itemset, prefixBM *bitset.Bitset, siblings []vertical)
+	extend = func(prefix itemset.Itemset, prefixBM *bitset.Bitset, siblings []vertical) {
+		for i, s := range siblings {
+			bm := prefixBM.And(s.bm)
+			sup := bm.Count()
+			if sup < minSupport {
+				continue
+			}
+			next := prefix.With(s.item)
+			out = append(out, FrequentItemset{next, sup})
+			extend(next, bm, siblings[i+1:])
+		}
+	}
+	for i, r := range roots {
+		extend(itemset.New(r.item), r.bm, roots[i+1:])
+	}
+	return NewResult(minSupport, out), nil
+}

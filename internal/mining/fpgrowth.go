@@ -1,0 +1,229 @@
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// FPGrowth mines all frequent itemsets of db with support >= minSupport
+// using the FP-growth algorithm (Han, Pei & Yin): transactions are
+// compressed into a frequency-ordered prefix tree (FP-tree) and frequent
+// itemsets are enumerated by recursively building conditional trees, with
+// the single-path shortcut enumerating the final combinations directly.
+// It produces the same Result as Apriori and Eclat and serves as a third
+// independent implementation for cross-checking — and as the faster option
+// on long, dense transactions where Apriori's candidate scans degrade.
+func FPGrowth(db *itemset.Database, minSupport int) (*Result, error) {
+	if err := validate(db, minSupport); err != nil {
+		return nil, err
+	}
+
+	// Pass 1: frequent items, ordered by descending support (ties by item
+	// id) — the canonical FP-tree item order.
+	counts := db.ItemSupports()
+	type freqItem struct {
+		item itemset.Item
+		sup  int
+	}
+	var freq []freqItem
+	for it, c := range counts {
+		if c >= minSupport {
+			freq = append(freq, freqItem{it, c})
+		}
+	}
+	sort.Slice(freq, func(i, j int) bool {
+		if freq[i].sup != freq[j].sup {
+			return freq[i].sup > freq[j].sup
+		}
+		return freq[i].item < freq[j].item
+	})
+	rank := make(map[itemset.Item]int, len(freq))
+	for i, f := range freq {
+		rank[f.item] = i
+	}
+
+	// Pass 2: build the FP-tree over rank-ordered filtered transactions.
+	tree := newFPTree(len(freq))
+	for _, rec := range db.Records() {
+		var ranked []int
+		for _, it := range rec.Items() {
+			if r, ok := rank[it]; ok {
+				ranked = append(ranked, r)
+			}
+		}
+		sort.Ints(ranked)
+		tree.insert(ranked, 1)
+	}
+
+	var out []FrequentItemset
+	emit := func(ranks []int, sup int) {
+		items := make([]itemset.Item, len(ranks))
+		for i, r := range ranks {
+			items[i] = freq[r].item
+		}
+		out = append(out, FrequentItemset{Set: itemset.New(items...), Support: sup})
+	}
+	fpMine(tree, minSupport, nil, emit)
+	return NewResult(minSupport, out), nil
+}
+
+// fpNode is one FP-tree node. Items are represented by their frequency
+// rank; children are keyed by rank.
+type fpNode struct {
+	rank     int
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	next     *fpNode // header-list chaining of same-rank nodes
+}
+
+type fpTree struct {
+	root    *fpNode
+	headers []*fpNode // per rank: head of the node chain
+	counts  []int     // per rank: total count in this tree
+}
+
+func newFPTree(nRanks int) *fpTree {
+	return &fpTree{
+		root:    &fpNode{rank: -1, children: map[int]*fpNode{}},
+		headers: make([]*fpNode, nRanks),
+		counts:  make([]int, nRanks),
+	}
+}
+
+// insert adds a rank-sorted transaction with the given count.
+func (t *fpTree) insert(ranked []int, count int) {
+	n := t.root
+	for _, r := range ranked {
+		c, ok := n.children[r]
+		if !ok {
+			c = &fpNode{rank: r, parent: n, children: map[int]*fpNode{}}
+			c.next = t.headers[r]
+			t.headers[r] = c
+			n.children[r] = c
+		}
+		c.count += count
+		t.counts[r] += count
+		n = c
+	}
+}
+
+// singlePath returns the node chain if the tree is one path, else nil.
+func (t *fpTree) singlePath() []*fpNode {
+	var path []*fpNode
+	n := t.root
+	for {
+		if len(n.children) == 0 {
+			return path
+		}
+		if len(n.children) > 1 {
+			return nil
+		}
+		for _, c := range n.children {
+			n = c
+		}
+		path = append(path, n)
+	}
+}
+
+// fpMine enumerates frequent itemsets of the tree, each extended by the
+// current suffix (ranks of already-fixed items, any order).
+func fpMine(t *fpTree, minSupport int, suffix []int, emit func(ranks []int, sup int)) {
+	if path := t.singlePath(); path != nil {
+		// Single-path shortcut: every combination of path nodes is frequent
+		// with the count of its deepest member.
+		emitCombos(path, minSupport, suffix, emit)
+		return
+	}
+	// General case: for each frequent rank (bottom-up), emit suffix+rank and
+	// recurse on its conditional tree.
+	for r := len(t.headers) - 1; r >= 0; r-- {
+		sup := t.counts[r]
+		if sup < minSupport || t.headers[r] == nil {
+			continue
+		}
+		newSuffix := append(append([]int{}, suffix...), r)
+		emit(newSuffix, sup)
+
+		// Conditional pattern base: prefix paths of every r-node.
+		cond := newFPTree(len(t.headers))
+		for n := t.headers[r]; n != nil; n = n.next {
+			var prefix []int
+			for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
+				prefix = append(prefix, p.rank)
+			}
+			// prefix collected deep-to-shallow: reverse to rank order.
+			for i, j := 0, len(prefix)-1; i < j; i, j = i+1, j-1 {
+				prefix[i], prefix[j] = prefix[j], prefix[i]
+			}
+			if len(prefix) > 0 {
+				cond.insert(prefix, n.count)
+			}
+		}
+		// Prune infrequent ranks inside the conditional base by rebuilding
+		// with only frequent ranks (counts already aggregated in cond).
+		pruned := pruneFPTree(cond, minSupport)
+		if pruned != nil {
+			fpMine(pruned, minSupport, newSuffix, emit)
+		}
+	}
+}
+
+// pruneFPTree rebuilds a conditional tree keeping only ranks frequent in it;
+// returns nil when nothing survives.
+func pruneFPTree(t *fpTree, minSupport int) *fpTree {
+	keep := false
+	for _, c := range t.counts {
+		if c >= minSupport {
+			keep = true
+			break
+		}
+	}
+	if !keep {
+		return nil
+	}
+	out := newFPTree(len(t.counts))
+	var walk func(n *fpNode, path []int)
+	walk = func(n *fpNode, path []int) {
+		if n.rank >= 0 {
+			if t.counts[n.rank] >= minSupport {
+				path = append(path, n.rank)
+			}
+			// A node's own count includes its subtree; insert only the leaf
+			// increments: leafCount = n.count - Σ children counts.
+			childSum := 0
+			for _, c := range n.children {
+				childSum += c.count
+			}
+			if delta := n.count - childSum; delta > 0 && len(path) > 0 {
+				out.insert(path, delta)
+			}
+		}
+		for _, c := range n.children {
+			walk(c, path)
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+// emitCombos emits every non-empty combination of single-path nodes,
+// supported by its deepest member's count, each combined with the suffix.
+func emitCombos(path []*fpNode, minSupport int, suffix []int, emit func([]int, int)) {
+	n := len(path)
+	for mask := 1; mask < 1<<n; mask++ {
+		sup := 0
+		var ranks []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				ranks = append(ranks, path[i].rank)
+				sup = path[i].count // deepest selected node has the smallest count
+			}
+		}
+		if sup < minSupport {
+			continue
+		}
+		emit(append(append([]int{}, suffix...), ranks...), sup)
+	}
+}

@@ -1,0 +1,204 @@
+// Package mining implements frequent-itemset mining over a transaction
+// database (one sliding-window snapshot in the stream setting).
+//
+// Two independent per-window miners are provided — levelwise Apriori and
+// vertical-bitmap Eclat — plus closed-itemset filtering. The subpackage
+// moment maintains the same result incrementally across window slides. The
+// redundancy is deliberate: the miners cross-check one another in tests, and
+// Apriori doubles as the self-evidently-correct baseline.
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// FrequentItemset couples an itemset with its support in the mined window.
+type FrequentItemset struct {
+	Set     itemset.Itemset
+	Support int
+}
+
+// Result is the outcome of mining one window: every itemset with support at
+// least MinSupport, with lookup by itemset.
+type Result struct {
+	// MinSupport is the threshold C the window was mined with.
+	MinSupport int
+	// Itemsets holds the frequent itemsets sorted by descending support,
+	// ties broken by ascending size then lexicographic item order, so that
+	// output order is deterministic.
+	Itemsets []FrequentItemset
+
+	byKey map[string]int // Key() -> Support
+}
+
+// NewResult assembles a Result from mined itemsets. It normalizes order and
+// builds the lookup index.
+func NewResult(minSupport int, sets []FrequentItemset) *Result {
+	r := &Result{MinSupport: minSupport, Itemsets: sets}
+	r.normalize()
+	return r
+}
+
+func (r *Result) normalize() {
+	sort.Slice(r.Itemsets, func(i, j int) bool {
+		a, b := r.Itemsets[i], r.Itemsets[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Set.Len() != b.Set.Len() {
+			return a.Set.Len() < b.Set.Len()
+		}
+		return a.Set.Key() < b.Set.Key()
+	})
+	r.byKey = make(map[string]int, len(r.Itemsets))
+	for _, fi := range r.Itemsets {
+		r.byKey[fi.Set.Key()] = fi.Support
+	}
+}
+
+// Support returns the mined support of s and whether s is frequent.
+func (r *Result) Support(s itemset.Itemset) (int, bool) {
+	v, ok := r.byKey[s.Key()]
+	return v, ok
+}
+
+// Len returns the number of frequent itemsets.
+func (r *Result) Len() int { return len(r.Itemsets) }
+
+// Closed returns the subset of r that is closed: itemsets with no proper
+// superset of equal support. In a frequent-itemset collection it suffices to
+// compare against supersets one item larger, because support is antitone
+// under inclusion: if some superset has equal support, a one-item extension
+// on the way to it does too.
+func (r *Result) Closed() *Result {
+	notClosed := make(map[string]bool)
+	for _, fi := range r.Itemsets {
+		if fi.Set.Len() < 2 {
+			continue
+		}
+		items := fi.Set.Items()
+		for _, drop := range items {
+			sub := fi.Set.Without(drop)
+			if sup, ok := r.byKey[sub.Key()]; ok && sup == fi.Support {
+				notClosed[sub.Key()] = true
+			}
+		}
+	}
+	// The empty itemset is implicitly frequent with support = window size;
+	// miners do not emit it, so nothing more to do.
+	var out []FrequentItemset
+	for _, fi := range r.Itemsets {
+		if !notClosed[fi.Set.Key()] {
+			out = append(out, fi)
+		}
+	}
+	return NewResult(r.MinSupport, out)
+}
+
+// validate guards the mining entry points.
+func validate(db *itemset.Database, minSupport int) error {
+	if db == nil {
+		return fmt.Errorf("mining: nil database")
+	}
+	if minSupport < 1 {
+		return fmt.Errorf("mining: minimum support %d must be >= 1", minSupport)
+	}
+	return nil
+}
+
+// Apriori mines all frequent itemsets of db with support >= minSupport using
+// the levelwise Apriori algorithm with prefix-join candidate generation and
+// full subset pruning. It is the reference implementation: simple, obviously
+// faithful to the definition, and used as ground truth in tests.
+func Apriori(db *itemset.Database, minSupport int) (*Result, error) {
+	if err := validate(db, minSupport); err != nil {
+		return nil, err
+	}
+	var out []FrequentItemset
+
+	// Level 1.
+	itemCounts := db.ItemSupports()
+	var level []itemset.Itemset
+	for it, c := range itemCounts {
+		if c >= minSupport {
+			level = append(level, itemset.New(it))
+			out = append(out, FrequentItemset{itemset.New(it), c})
+		}
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i].Key() < level[j].Key() })
+
+	frequent := make(map[string]bool, len(level))
+	for _, s := range level {
+		frequent[s.Key()] = true
+	}
+
+	for len(level) > 1 {
+		candidates := aprioriGen(level, frequent)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := make([]int, len(candidates))
+		for _, rec := range db.Records() {
+			for ci, c := range candidates {
+				if rec.ContainsAll(c) {
+					counts[ci]++
+				}
+			}
+		}
+		level = level[:0]
+		for ci, c := range candidates {
+			if counts[ci] >= minSupport {
+				level = append(level, c)
+				frequent[c.Key()] = true
+				out = append(out, FrequentItemset{c, counts[ci]})
+			}
+		}
+	}
+	return NewResult(minSupport, out), nil
+}
+
+// aprioriGen joins frequent k-itemsets sharing a (k-1)-prefix and prunes
+// candidates with an infrequent k-subset.
+func aprioriGen(level []itemset.Itemset, frequent map[string]bool) []itemset.Itemset {
+	var candidates []itemset.Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := a.Len()
+			if !samePrefix(a, b, k-1) {
+				break // level is sorted by Key, so prefixes are contiguous
+			}
+			var cand itemset.Itemset
+			if a.At(k-1) < b.At(k-1) {
+				cand = a.With(b.At(k - 1))
+			} else {
+				cand = b.With(a.At(k - 1))
+			}
+			if aprioriPrune(cand, frequent) {
+				candidates = append(candidates, cand)
+			}
+		}
+	}
+	return candidates
+}
+
+func samePrefix(a, b itemset.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func aprioriPrune(cand itemset.Itemset, frequent map[string]bool) bool {
+	for _, drop := range cand.Items() {
+		if !frequent[cand.Without(drop).Key()] {
+			return false
+		}
+	}
+	return true
+}

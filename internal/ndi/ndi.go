@@ -1,0 +1,145 @@
+// Package ndi implements non-derivable itemset analysis (Calders &
+// Goethals, PKDD 2002 — the paper's reference [16] and the engine behind
+// its "estimating itemset support" attack technique).
+//
+// An itemset is DERIVABLE when the deduction bounds computed from its
+// subsets' supports collapse to a point: its support carries no new
+// information and an adversary recovers it exactly — which is precisely how
+// the intra-window attack completes unpublished supports. The set of
+// non-derivable frequent itemsets is therefore both a lossless condensed
+// representation of the frequent set (the original NDI use) and a measure
+// of a window's inference attack surface (this repository's use): every
+// derivable itemset is a free gift to the adversary.
+package ndi
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+	"repro/internal/lattice"
+	"repro/internal/mining"
+)
+
+// Analysis classifies the frequent itemsets of one window.
+type Analysis struct {
+	// NonDerivable are the frequent itemsets whose subset-deduction bounds
+	// do not pin their support (the NDI condensed representation).
+	NonDerivable []mining.FrequentItemset
+	// Derivable are the frequent itemsets an adversary reconstructs exactly
+	// from the others — publication adds no information but plenty of
+	// inference material.
+	Derivable []mining.FrequentItemset
+	// Widths maps itemset keys to the width (Hi−Lo) of the deduction
+	// interval; width 0 means derivable.
+	Widths map[string]int
+}
+
+// DerivableCount returns the number of derivable frequent itemsets.
+func (a *Analysis) DerivableCount() int { return len(a.Derivable) }
+
+// Analyze splits the frequent itemsets of res into derivable and
+// non-derivable, computing each itemset's deduction bounds from its proper
+// subsets' supports (all available in res by the Apriori property) with the
+// window size answering for the empty set. Singletons are never derivable:
+// their only subset is the empty set, whose bounds [0, N] cannot collapse
+// unless N = 0.
+func Analyze(res *mining.Result, windowSize int) (*Analysis, error) {
+	if res == nil {
+		return nil, fmt.Errorf("ndi: nil mining result")
+	}
+	if windowSize < 0 {
+		return nil, fmt.Errorf("ndi: negative window size %d", windowSize)
+	}
+	lookup := func(s itemset.Itemset) (int, bool) {
+		if s.Empty() {
+			return windowSize, true
+		}
+		return res.Support(s)
+	}
+	a := &Analysis{Widths: make(map[string]int, res.Len())}
+	for _, fi := range res.Itemsets {
+		iv, err := lattice.Bounds(fi.Set, lookup, windowSize)
+		if err != nil {
+			return nil, err
+		}
+		width := iv.Hi - iv.Lo
+		a.Widths[fi.Set.Key()] = width
+		if width == 0 {
+			a.Derivable = append(a.Derivable, fi)
+		} else {
+			a.NonDerivable = append(a.NonDerivable, fi)
+		}
+	}
+	return a, nil
+}
+
+// Condense returns only the non-derivable frequent itemsets as a Result —
+// the NDI condensed representation: every pruned support is reconstructible
+// by the deduction rules.
+func Condense(res *mining.Result, windowSize int) (*mining.Result, error) {
+	a, err := Analyze(res, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	return mining.NewResult(res.MinSupport, a.NonDerivable), nil
+}
+
+// Reconstruct recovers the support of target from a condensed result by
+// iterated deduction: bounds are computed against the condensed supports
+// plus everything already reconstructed, repeating until the target pins or
+// no progress is possible. It reports ok=false if the target cannot be
+// reconstructed (it was non-derivable, or outside the frequent universe).
+func Reconstruct(condensed *mining.Result, windowSize int, target itemset.Itemset) (int, bool, error) {
+	if v, ok := condensed.Support(target); ok {
+		return v, true, nil
+	}
+	known := map[string]int{}
+	sets := map[string]itemset.Itemset{}
+	for _, fi := range condensed.Itemsets {
+		known[fi.Set.Key()] = fi.Support
+		sets[fi.Set.Key()] = fi.Set
+	}
+	lookup := func(s itemset.Itemset) (int, bool) {
+		if s.Empty() {
+			return windowSize, true
+		}
+		v, ok := known[s.Key()]
+		return v, ok
+	}
+	// Candidate queue: subsets-first order over the closure of target's
+	// subset lattice restricted to itemsets over target's items plus known
+	// sets; simplest complete strategy for the sizes involved: iterate
+	// deduction over all subsets of target until fixpoint.
+	if target.Len() > 16 {
+		return 0, false, fmt.Errorf("ndi: target %v too large to reconstruct", target)
+	}
+	for pass := 0; pass < target.Len()+1; pass++ {
+		progress := false
+		target.Subsets(func(sub itemset.Itemset) bool {
+			if sub.Empty() || lookupHas(known, sub) {
+				return true
+			}
+			iv, err := lattice.Bounds(sub, lookup, windowSize)
+			if err != nil {
+				return true
+			}
+			if iv.Tight() {
+				known[sub.Key()] = iv.Lo
+				progress = true
+			}
+			return true
+		})
+		if v, ok := known[target.Key()]; ok {
+			return v, true, nil
+		}
+		if !progress {
+			break
+		}
+	}
+	return 0, false, nil
+}
+
+func lookupHas(known map[string]int, s itemset.Itemset) bool {
+	_, ok := known[s.Key()]
+	return ok
+}

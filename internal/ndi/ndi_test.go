@@ -1,0 +1,158 @@
+package ndi
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/rng"
+)
+
+func mustMine(t *testing.T, db *itemset.Database, c int) *mining.Result {
+	t.Helper()
+	res, err := mining.Eclat(db, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, 10); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Analyze(mining.NewResult(1, nil), -1); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+// Hand case: N=10, T(a)=10 (a in every record), T(b)=6, T(ab)=6. Since every
+// record has a, T(ab) is forced to T(b): ab is derivable.
+func TestAnalyzeDerivableHandCase(t *testing.T) {
+	var recs []itemset.Itemset
+	for i := 0; i < 6; i++ {
+		recs = append(recs, itemset.New(0, 1))
+	}
+	for i := 0; i < 4; i++ {
+		recs = append(recs, itemset.New(0))
+	}
+	db := itemset.NewDatabase(recs)
+	res := mustMine(t, db, 1)
+	a, err := Analyze(res, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	derivable := map[string]bool{}
+	for _, fi := range a.Derivable {
+		derivable[fi.Set.Key()] = true
+	}
+	if !derivable[itemset.New(0, 1).Key()] {
+		t.Errorf("ab should be derivable; widths=%v", a.Widths)
+	}
+	if derivable[itemset.New(0).Key()] || derivable[itemset.New(1).Key()] {
+		t.Error("singletons must never be derivable in a non-empty window")
+	}
+	if a.Widths[itemset.New(0, 1).Key()] != 0 {
+		t.Error("derivable itemset has non-zero width")
+	}
+}
+
+// Partition property: NonDerivable ∪ Derivable == all frequent itemsets.
+func TestAnalyzePartition(t *testing.T) {
+	gen := data.WebViewLike(51)
+	db := itemset.NewDatabase(gen.Generate(800))
+	res := mustMine(t, db, 15)
+	a, err := Analyze(res, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.NonDerivable)+len(a.Derivable) != res.Len() {
+		t.Fatalf("partition broken: %d + %d != %d",
+			len(a.NonDerivable), len(a.Derivable), res.Len())
+	}
+	for _, fi := range a.Derivable {
+		if a.Widths[fi.Set.Key()] != 0 {
+			t.Errorf("derivable %v has width %d", fi.Set, a.Widths[fi.Set.Key()])
+		}
+	}
+	for _, fi := range a.NonDerivable {
+		if a.Widths[fi.Set.Key()] == 0 {
+			t.Errorf("non-derivable %v has width 0", fi.Set)
+		}
+	}
+}
+
+// The NDI losslessness theorem, empirically: every derivable itemset's
+// support is reconstructible from the condensed representation.
+func TestCondenseLossless(t *testing.T) {
+	src := rng.New(61)
+	for trial := 0; trial < 10; trial++ {
+		recs := make([]itemset.Itemset, 30)
+		for i := range recs {
+			var items []itemset.Item
+			for b := 0; b < 5; b++ {
+				if src.Intn(2) == 1 {
+					items = append(items, itemset.Item(b))
+				}
+			}
+			recs[i] = itemset.New(items...)
+		}
+		db := itemset.NewDatabase(recs)
+		res := mustMine(t, db, 2)
+		condensed, err := Condense(res, db.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fi := range res.Itemsets {
+			got, ok, err := Reconstruct(condensed, db.Len(), fi.Set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: %v not reconstructible from condensed set", trial, fi.Set)
+			}
+			if got != fi.Support {
+				t.Fatalf("trial %d: reconstructed T(%v) = %d, truth %d",
+					trial, fi.Set, got, fi.Support)
+			}
+		}
+	}
+}
+
+func TestReconstructDirectHit(t *testing.T) {
+	res := mining.NewResult(1, []mining.FrequentItemset{{Set: itemset.New(1), Support: 5}})
+	got, ok, err := Reconstruct(res, 10, itemset.New(1))
+	if err != nil || !ok || got != 5 {
+		t.Errorf("direct lookup failed: %d %v %v", got, ok, err)
+	}
+}
+
+func TestReconstructUnknown(t *testing.T) {
+	res := mining.NewResult(1, []mining.FrequentItemset{{Set: itemset.New(1), Support: 5}})
+	_, ok, err := Reconstruct(res, 10, itemset.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("reconstructed an itemset with no information available")
+	}
+}
+
+// Attack-surface connection: windows with many derivable itemsets mean the
+// adversary reconstructs hidden supports for free. Verify the count is
+// meaningful on a realistic stream (neither zero nor everything).
+func TestDerivableCountOnStream(t *testing.T) {
+	gen := data.POSLike(71)
+	db := itemset.NewDatabase(gen.Generate(1500))
+	res := mustMine(t, db, 20)
+	a, err := Analyze(res, db.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("POS window: %d frequent, %d derivable (attack surface), %d non-derivable",
+		res.Len(), a.DerivableCount(), len(a.NonDerivable))
+	if len(a.NonDerivable) == 0 {
+		t.Error("everything derivable — impossible with frequent singletons")
+	}
+}

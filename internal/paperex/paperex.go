@@ -1,0 +1,59 @@
+// Package paperex reconstructs the running example of the Butterfly paper
+// (Fig. 2 / Fig. 3 and Examples 2–5) for use in tests, examples and
+// documentation.
+//
+// The published figure is an illustration, not machine-readable data, so the
+// records here are a reconstruction chosen to satisfy every quantitative
+// statement the paper makes about the example:
+//
+//   - window Ds(11,8): T(c)=8, T(ac)=6, T(bc)=6, T(abc)=4   (Fig. 3 left)
+//   - window Ds(12,8): T(c)=8, T(ac)=5, T(bc)=5, T(abc)=3   (Fig. 3 right)
+//   - inclusion–exclusion over the lattice X_c^abc in Ds(12,8) derives the
+//     pattern c·¬a·¬b with support 1                        (Example 3)
+//   - given c, ac, bc only, the bounds on T(abc) in Ds(12,8) are [2,5]
+//     (Example 4)
+//   - the support of abc drops by exactly 1 between the two windows, which
+//     is what the inter-window inference of Example 5 exploits.
+package paperex
+
+import "repro/internal/itemset"
+
+// Item aliases for the paper's a–d item names.
+const (
+	A itemset.Item = 0
+	B itemset.Item = 1
+	C itemset.Item = 2
+	D itemset.Item = 3
+)
+
+// WindowSize is the H = 8 sliding window of the running example.
+const WindowSize = 8
+
+// Records returns the 12-record stream. Records r4..r12 are pinned by the
+// constraints above; r1..r3 only serve to make the stream 12 records long.
+func Records() []itemset.Itemset {
+	return []itemset.Itemset{
+		itemset.New(A, B),       // r1
+		itemset.New(C, D),       // r2
+		itemset.New(A, D),       // r3
+		itemset.New(A, B, C, D), // r4  (leaves between Ds(11,8) and Ds(12,8))
+		itemset.New(A, B, C),    // r5
+		itemset.New(A, B, C),    // r6
+		itemset.New(A, B, C),    // r7
+		itemset.New(A, C),       // r8
+		itemset.New(A, C, D),    // r9
+		itemset.New(B, C),       // r10
+		itemset.New(B, C, D),    // r11
+		itemset.New(C, D),       // r12 (enters at Ds(12,8))
+	}
+}
+
+// Window11 returns the database of Ds(11,8) = records r4..r11.
+func Window11() *itemset.Database {
+	return itemset.NewDatabase(Records()[3:11])
+}
+
+// Window12 returns the database of Ds(12,8) = records r5..r12.
+func Window12() *itemset.Database {
+	return itemset.NewDatabase(Records()[4:12])
+}

@@ -1,0 +1,80 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// Verify that the reconstruction satisfies every quantitative statement the
+// paper makes about its running example.
+func TestFig3SupportsWindow11(t *testing.T) {
+	db := Window11()
+	cases := []struct {
+		set  itemset.Itemset
+		want int
+	}{
+		{itemset.New(C), 8},
+		{itemset.New(A, C), 6},
+		{itemset.New(B, C), 6},
+		{itemset.New(A, B, C), 4},
+	}
+	for _, tc := range cases {
+		if got := db.Support(tc.set); got != tc.want {
+			t.Errorf("Ds(11,8): T(%v) = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestFig3SupportsWindow12(t *testing.T) {
+	db := Window12()
+	cases := []struct {
+		set  itemset.Itemset
+		want int
+	}{
+		{itemset.New(C), 8},
+		{itemset.New(A, C), 5},
+		{itemset.New(B, C), 5},
+		{itemset.New(A, B, C), 3},
+	}
+	for _, tc := range cases {
+		if got := db.Support(tc.set); got != tc.want {
+			t.Errorf("Ds(12,8): T(%v) = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+// Example 3: the pattern c·¬a·¬b has support 1 in Ds(12,8); the derivation
+// T(c) - T(ac) - T(bc) + T(abc) = 8-5-5+3 = 1 must agree with ground truth.
+func TestExample3PatternSupport(t *testing.T) {
+	db := Window12()
+	p := itemset.NewPattern(itemset.New(C), itemset.New(A, B))
+	if got := db.PatternSupport(p); got != 1 {
+		t.Errorf("T(c¬a¬b) = %d, want 1", got)
+	}
+	derived := db.Support(itemset.New(C)) - db.Support(itemset.New(A, C)) -
+		db.Support(itemset.New(B, C)) + db.Support(itemset.New(A, B, C))
+	if derived != 1 {
+		t.Errorf("inclusion-exclusion derivation = %d, want 1", derived)
+	}
+}
+
+// Example 5: the abc support transition between the windows is exactly -1.
+func TestExample5Transition(t *testing.T) {
+	abc := itemset.New(A, B, C)
+	before := Window11().Support(abc)
+	after := Window12().Support(abc)
+	if before-after != 1 {
+		t.Errorf("T(abc) transition = %d -> %d, want a drop of 1", before, after)
+	}
+}
+
+func TestStreamLengthAndWindows(t *testing.T) {
+	recs := Records()
+	if len(recs) != 12 {
+		t.Fatalf("stream has %d records, want 12", len(recs))
+	}
+	if Window11().Len() != WindowSize || Window12().Len() != WindowSize {
+		t.Error("window snapshots are not H records wide")
+	}
+}

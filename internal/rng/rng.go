@@ -1,0 +1,181 @@
+// Package rng provides small, deterministic random-number utilities used by
+// the Butterfly perturbation schemes and by the synthetic data generators.
+//
+// All experiment code in this repository must be reproducible from a seed, so
+// instead of the global math/rand source every component owns an explicit
+// *rng.Source. The generator is SplitMix64: tiny state, excellent statistical
+// quality for simulation purposes, and trivially seedable.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source (SplitMix64).
+// It is NOT safe for concurrent use; give each goroutine its own Source,
+// e.g. via Split.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds give independent
+// looking streams; the zero seed is valid.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives a new, independent Source from s. The derived source is
+// decorrelated from subsequent output of s because it is seeded from a
+// dedicated draw.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless method would be overkill here; plain
+	// modulo bias is negligible for n << 2^64 but we still reject to keep
+	// the distribution exactly uniform (it matters for variance tests).
+	max := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// IntRange returns a uniform integer in the inclusive interval [lo, hi].
+// It panics if lo > hi.
+func (s *Source) IntRange(lo, hi int) int {
+	if lo > hi {
+		panic("rng: IntRange with lo > hi")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Poisson returns a Poisson-distributed integer with the given mean, using
+// Knuth's method for small means and a normal approximation for large ones.
+// Means this repository uses are transaction lengths (< 50), so Knuth's
+// method dominates in practice.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		// Normal approximation with continuity correction.
+		v := s.Normal()*math.Sqrt(mean) + mean + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Normal returns a standard normally distributed float64 (Box–Muller).
+func (s *Source) Normal() float64 {
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		v := s.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Geometric returns a geometric random variate counting the number of
+// failures before the first success with success probability p in (0, 1].
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Zipf draws from a Zipf distribution over ranks [0, n) with exponent
+// skew >= 0 (skew == 0 degenerates to uniform). It uses a precomputed CDF
+// table for exact draws; construct one Zipf per (n, skew) pair and reuse it.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over n ranks with the given skew.
+func NewZipf(src *Source, n int, skew float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), skew)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Draw returns a rank in [0, n), rank 0 being the most popular.
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,276 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c := a.Split()
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("split source mirrors parent")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(9)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := -3; v <= 3; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10; i++ {
+		if v := s.IntRange(4, 4); v != 4 {
+			t.Fatalf("IntRange(4,4) = %d", v)
+		}
+	}
+}
+
+func TestIntRangePanicsWhenInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(2,1) did not panic")
+		}
+	}()
+	New(1).IntRange(2, 1)
+}
+
+// The discrete uniform on [lo,hi] must have mean (lo+hi)/2 and variance
+// ((hi-lo+1)^2 - 1)/12 — the Butterfly calibration depends on exactly these
+// moments, so verify them empirically.
+func TestIntRangeMoments(t *testing.T) {
+	s := New(11)
+	lo, hi := -10, 14
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(s.IntRange(lo, hi))
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	wantMean := float64(lo+hi) / 2
+	span := float64(hi - lo + 1)
+	wantVar := (span*span - 1) / 12
+	if math.Abs(mean-wantMean) > 0.1 {
+		t.Errorf("mean = %.3f, want %.3f", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.02 {
+		t.Errorf("variance = %.3f, want %.3f", variance, wantVar)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	check := func(n uint8) bool {
+		p := s.Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(19)
+	for _, mean := range []float64{0.5, 2.5, 6.5, 80} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%v) empirical mean %.3f", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	s := New(23)
+	if s.Poisson(0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+	if s.Poisson(-1) != 0 {
+		t.Error("Poisson(-1) != 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(29)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %.4f", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(31)
+	p := 0.25
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(p)
+	}
+	got := float64(sum) / n
+	want := (1 - p) / p
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Geometric(%v) mean %.3f want %.3f", p, got, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	s := New(37)
+	if v := s.Geometric(1); v != 0 {
+		t.Errorf("Geometric(1) = %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	s.Geometric(0)
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	s := New(41)
+	z := NewZipf(s, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	if counts[0] <= counts[99] {
+		t.Errorf("rank 0 (%d) not more popular than rank 99 (%d)", counts[0], counts[99])
+	}
+}
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	s := New(43)
+	z := NewZipf(s, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for r, c := range counts {
+		if math.Abs(float64(c)-n/10)/(n/10) > 0.05 {
+			t.Errorf("rank %d count %d deviates from uniform", r, c)
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	s := New(47)
+	z := NewZipf(s, 7, 1.2)
+	for i := 0; i < 10000; i++ {
+		if v := z.Draw(); v < 0 || v >= 7 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkIntRange(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.IntRange(-50, 50)
+	}
+}

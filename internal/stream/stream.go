@@ -1,0 +1,126 @@
+// Package stream models a transaction data stream under the sliding-window
+// model of §III of the Butterfly paper: a stream Ds is a sequence of records
+// (r1, ..., rN); at each position N only the window Ds(N, H) of the H most
+// recent records is considered.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+)
+
+// Window is a fixed-capacity sliding window over a record stream. Records
+// are pushed in stream order; once the window is full, each push evicts the
+// oldest record. Window is not safe for concurrent use.
+type Window struct {
+	capacity int
+	buf      []itemset.Itemset // ring buffer
+	head     int               // index of the oldest record
+	length   int               // number of records currently held
+	position int               // N: total records pushed so far
+}
+
+// NewWindow creates a window of the given capacity H. It panics if H <= 0.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stream: window capacity %d must be positive", capacity))
+	}
+	return &Window{
+		capacity: capacity,
+		buf:      make([]itemset.Itemset, capacity),
+	}
+}
+
+// Capacity returns H, the maximum number of records held.
+func (w *Window) Capacity() int { return w.capacity }
+
+// Len returns the number of records currently in the window.
+func (w *Window) Len() int { return w.length }
+
+// Full reports whether the window holds exactly H records.
+func (w *Window) Full() bool { return w.length == w.capacity }
+
+// Position returns N, the total number of records pushed so far. Together
+// with Capacity this identifies the window as Ds(N, H).
+func (w *Window) Position() int { return w.position }
+
+// Push appends a record to the window. If the window was full, the evicted
+// (oldest) record is returned with evicted=true.
+func (w *Window) Push(rec itemset.Itemset) (old itemset.Itemset, evicted bool) {
+	w.position++
+	if w.length < w.capacity {
+		w.buf[(w.head+w.length)%w.capacity] = rec
+		w.length++
+		return itemset.Itemset{}, false
+	}
+	old = w.buf[w.head]
+	w.buf[w.head] = rec
+	w.head = (w.head + 1) % w.capacity
+	return old, true
+}
+
+// Records returns the window content in stream order (oldest first). The
+// returned slice is freshly allocated.
+func (w *Window) Records() []itemset.Itemset {
+	out := make([]itemset.Itemset, w.length)
+	for i := 0; i < w.length; i++ {
+		out[i] = w.buf[(w.head+i)%w.capacity]
+	}
+	return out
+}
+
+// At returns the i-th record in the window, 0 being the oldest.
+func (w *Window) At(i int) itemset.Itemset {
+	if i < 0 || i >= w.length {
+		panic(fmt.Sprintf("stream: window index %d out of range [0,%d)", i, w.length))
+	}
+	return w.buf[(w.head+i)%w.capacity]
+}
+
+// Database materializes the current window content as a Database snapshot.
+func (w *Window) Database() *itemset.Database {
+	return itemset.NewDatabase(w.Records())
+}
+
+// Replay pushes every record of the stream through a window of capacity
+// windowSize and invokes fn once per *full* window, after every slide
+// (i.e. for Ds(H, H), Ds(H+1, H), ..., Ds(len(records), H)). If fn returns
+// false, replay stops early. The window passed to fn must not be retained or
+// mutated by fn.
+func Replay(records []itemset.Itemset, windowSize int, fn func(w *Window) bool) {
+	w := NewWindow(windowSize)
+	for _, rec := range records {
+		w.Push(rec)
+		if w.Full() {
+			if !fn(w) {
+				return
+			}
+		}
+	}
+}
+
+// ReplayStride is like Replay but only invokes fn every stride slides after
+// the window first fills (stride >= 1). The first full window is always
+// reported. This keeps long-stream experiments affordable while still
+// sampling overlapping windows.
+func ReplayStride(records []itemset.Itemset, windowSize, stride int, fn func(w *Window) bool) {
+	if stride < 1 {
+		panic("stream: stride must be >= 1")
+	}
+	w := NewWindow(windowSize)
+	sinceReport := stride // force a report on the first full window
+	for _, rec := range records {
+		w.Push(rec)
+		if !w.Full() {
+			continue
+		}
+		sinceReport++
+		if sinceReport >= stride {
+			sinceReport = 0
+			if !fn(w) {
+				return
+			}
+		}
+	}
+}

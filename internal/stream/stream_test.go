@@ -1,0 +1,186 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/paperex"
+)
+
+func rec(items ...itemset.Item) itemset.Itemset { return itemset.New(items...) }
+
+func TestWindowFillsThenSlides(t *testing.T) {
+	w := NewWindow(3)
+	if w.Full() {
+		t.Fatal("new window reports full")
+	}
+	for i := 0; i < 3; i++ {
+		_, evicted := w.Push(rec(itemset.Item(i)))
+		if evicted {
+			t.Fatalf("eviction while filling at %d", i)
+		}
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Fatal("window should be full after 3 pushes")
+	}
+	old, evicted := w.Push(rec(99))
+	if !evicted {
+		t.Fatal("no eviction on push into full window")
+	}
+	if !old.Equal(rec(0)) {
+		t.Errorf("evicted %v, want {a}", old)
+	}
+	got := w.Records()
+	want := []itemset.Itemset{rec(1), rec(2), rec(99)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("Records()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWindowPosition(t *testing.T) {
+	w := NewWindow(2)
+	for i := 1; i <= 5; i++ {
+		w.Push(rec(itemset.Item(i)))
+		if w.Position() != i {
+			t.Errorf("Position = %d after %d pushes", w.Position(), i)
+		}
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestWindowAt(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 5; i++ {
+		w.Push(rec(itemset.Item(i)))
+	}
+	// Window now holds records 2,3,4 oldest-first.
+	for i := 0; i < 3; i++ {
+		if got := w.At(i); !got.Equal(rec(itemset.Item(i + 2))) {
+			t.Errorf("At(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestWindowAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	NewWindow(2).At(0)
+}
+
+func TestNewWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestWindowDatabaseSnapshot(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(rec(1, 2))
+	w.Push(rec(2, 3))
+	db := w.Database()
+	if db.Len() != 2 {
+		t.Fatalf("snapshot Len = %d", db.Len())
+	}
+	if db.Support(rec(2)) != 2 {
+		t.Errorf("snapshot support(2) = %d", db.Support(rec(2)))
+	}
+	// Snapshot must be stable under further pushes.
+	w.Push(rec(9))
+	if db.Support(rec(9)) != 0 {
+		t.Error("snapshot mutated by later push")
+	}
+}
+
+// The paper's Fig. 2 running example (12 records, H = 8), reconstructed in
+// internal/paperex to satisfy the Fig. 3 support values.
+func fig2Records() []itemset.Itemset { return paperex.Records() }
+
+func TestReplayVisitsEveryFullWindow(t *testing.T) {
+	recs := fig2Records()
+	var positions []int
+	Replay(recs, 8, func(w *Window) bool {
+		positions = append(positions, w.Position())
+		return true
+	})
+	want := []int{8, 9, 10, 11, 12}
+	if len(positions) != len(want) {
+		t.Fatalf("visited %v, want %v", positions, want)
+	}
+	for i := range want {
+		if positions[i] != want[i] {
+			t.Fatalf("visited %v, want %v", positions, want)
+		}
+	}
+}
+
+func TestReplayEarlyStop(t *testing.T) {
+	n := 0
+	Replay(fig2Records(), 8, func(w *Window) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d windows", n)
+	}
+}
+
+func TestReplayStride(t *testing.T) {
+	var positions []int
+	ReplayStride(fig2Records(), 8, 2, func(w *Window) bool {
+		positions = append(positions, w.Position())
+		return true
+	})
+	want := []int{8, 10, 12}
+	if len(positions) != len(want) {
+		t.Fatalf("visited %v, want %v", positions, want)
+	}
+	for i := range want {
+		if positions[i] != want[i] {
+			t.Fatalf("visited %v, want %v", positions, want)
+		}
+	}
+}
+
+func TestReplayStridePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride 0 did not panic")
+		}
+	}()
+	ReplayStride(nil, 4, 0, func(*Window) bool { return true })
+}
+
+func TestReplayShortStreamNeverFires(t *testing.T) {
+	n := 0
+	Replay(fig2Records()[:5], 8, func(*Window) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("fn fired %d times on a stream shorter than the window", n)
+	}
+}
+
+// Replaying the running example must land on the paperex Ds(12,8) snapshot.
+func TestFig2ReplayMatchesPaperex(t *testing.T) {
+	var last *itemset.Database
+	Replay(fig2Records(), 8, func(w *Window) bool {
+		last = w.Database()
+		return true
+	})
+	want := paperex.Window12()
+	abc := itemset.New(paperex.A, paperex.B, paperex.C)
+	if got := last.Support(abc); got != want.Support(abc) {
+		t.Errorf("T(abc) in Ds(12,8) = %d, want %d", got, want.Support(abc))
+	}
+	if got := last.Support(abc); got != 3 {
+		t.Errorf("T(abc) in Ds(12,8) = %d, want 3 (Fig. 3)", got)
+	}
+}

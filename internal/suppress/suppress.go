@@ -1,0 +1,130 @@
+// Package suppress implements the detecting-then-removing baseline the
+// paper rejects in §I: find every inference breach in the mining output and
+// delete published itemsets until none remains. It exists so the evaluation
+// can quantify the paper's two arguments against the strategy — the
+// detection cost (repeated breach analysis over the whole output) and the
+// utility loss (entire itemsets disappear from the release, instead of every
+// itemset surviving with bounded noise).
+//
+// Only intra-window breaches are handled, which UNDERSTATES the baseline's
+// true cost: closing inter-window breaches would additionally require
+// bookkeeping of all history output (the paper's second §I objection).
+package suppress
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// Report describes one suppression run.
+type Report struct {
+	// Kept is the surviving output: no intra-window breach is derivable
+	// from it (at the attack options used).
+	Kept *mining.Result
+	// Suppressed lists the removed itemsets in removal order.
+	Suppressed []itemset.Itemset
+	// Rounds is the number of detect→remove iterations.
+	Rounds int
+}
+
+// maxRounds bounds the iteration; every round removes at least one itemset,
+// so len(output) rounds always suffice — the bound only guards bugs.
+const maxRounds = 10000
+
+// Sanitize removes published itemsets until the intra-window attack finds
+// no hard-vulnerable pattern (0 < support <= opts.VulnSupport). Per breach,
+// the published itemset with the SMALLEST support in the enabling lattice
+// X_I^J is removed: it is the most specific (least statistically
+// significant) piece of the derivation, mirroring the suppression heuristics
+// of the inference-control literature.
+func Sanitize(res *mining.Result, windowSize int, opts attack.Options) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("suppress: nil mining result")
+	}
+	if opts.VulnSupport <= 0 {
+		return nil, fmt.Errorf("suppress: VulnSupport must be positive, got %d", opts.VulnSupport)
+	}
+	kept := make([]mining.FrequentItemset, len(res.Itemsets))
+	copy(kept, res.Itemsets)
+
+	rep := &Report{}
+	for rep.Rounds = 1; rep.Rounds <= maxRounds; rep.Rounds++ {
+		view := viewOf(kept, windowSize)
+		breaches := attack.IntraWindow(view, opts)
+		if len(breaches) == 0 {
+			rep.Kept = mining.NewResult(res.MinSupport, kept)
+			return rep, nil
+		}
+		// Choose victims for this round: one per breach, deduplicated.
+		victims := map[string]itemset.Itemset{}
+		for _, b := range breaches {
+			if v, ok := victim(b, kept, view); ok {
+				victims[v.Key()] = v
+			}
+		}
+		if len(victims) == 0 {
+			// Every breach rests only on pinned (unpublished) values or the
+			// window size; removing output cannot help further. Accept the
+			// residue — a documented weakness of the baseline.
+			rep.Kept = mining.NewResult(res.MinSupport, kept)
+			return rep, nil
+		}
+		next := kept[:0]
+		for _, fi := range kept {
+			if v, hit := victims[fi.Set.Key()]; hit {
+				rep.Suppressed = append(rep.Suppressed, v)
+				continue
+			}
+			next = append(next, fi)
+		}
+		kept = next
+	}
+	return nil, fmt.Errorf("suppress: did not converge in %d rounds", maxRounds)
+}
+
+// victim picks the published itemset to remove for one breach: the lattice
+// member of X_I^J with the smallest support still in the output.
+func victim(b attack.Inference, kept []mining.FrequentItemset, view *attack.View) (itemset.Itemset, bool) {
+	var best itemset.Itemset
+	bestSup := -1
+	// Enumerate the lattice members by walking J\I subsets via Subsets on
+	// the difference, mirroring lattice.Enumerate without the import cycle
+	// risk (attack already depends on lattice).
+	free := b.J.Minus(b.I)
+	free.Subsets(func(sub itemset.Itemset) bool {
+		x := b.I.Union(sub)
+		if x.Empty() {
+			return true
+		}
+		sup, published := view.Support(x)
+		if !published {
+			return true
+		}
+		// Only published (not pinned-from-bounds) members can be removed;
+		// check against the actual kept list.
+		for _, fi := range kept {
+			if fi.Set.Equal(x) {
+				if bestSup == -1 || sup < bestSup {
+					best = x
+					bestSup = sup
+				}
+				break
+			}
+		}
+		return true
+	})
+	return best, bestSup != -1
+}
+
+func viewOf(kept []mining.FrequentItemset, windowSize int) *attack.View {
+	sets := make([]itemset.Itemset, len(kept))
+	sups := make([]int, len(kept))
+	for i, fi := range kept {
+		sets[i] = fi.Set
+		sups[i] = fi.Support
+	}
+	return attack.NewView(windowSize, sets, sups)
+}

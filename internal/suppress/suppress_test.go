@@ -1,0 +1,116 @@
+package suppress
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/paperex"
+)
+
+func TestSanitizeValidation(t *testing.T) {
+	if _, err := Sanitize(nil, 10, attack.Options{VulnSupport: 1}); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := mining.NewResult(2, nil)
+	if _, err := Sanitize(res, 10, attack.Options{}); err == nil {
+		t.Error("zero K accepted")
+	}
+}
+
+func TestSanitizeNoBreachesIsIdentity(t *testing.T) {
+	// Ds(12,8) at C=4 has no intra-window breaches at K=1.
+	db := paperex.Window12()
+	res, err := mining.Eclat(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sanitize(res, db.Len(), attack.Options{VulnSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suppressed) != 0 {
+		t.Errorf("suppressed %v from breach-free output", rep.Suppressed)
+	}
+	if rep.Kept.Len() != res.Len() {
+		t.Errorf("kept %d of %d itemsets", rep.Kept.Len(), res.Len())
+	}
+}
+
+func TestSanitizeRemovesBreaches(t *testing.T) {
+	// C=3 publishes abc's full lattice: the c¬a¬b breach is derivable.
+	db := paperex.Window12()
+	res, err := mining.Eclat(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := attack.Options{VulnSupport: 1}
+	before := attack.IntraWindow(viewOf(res.Itemsets, db.Len()), opts)
+	if len(before) == 0 {
+		t.Fatal("fixture has no breaches to remove")
+	}
+	rep, err := Sanitize(res, db.Len(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suppressed) == 0 {
+		t.Fatal("nothing suppressed despite breaches")
+	}
+	after := attack.IntraWindow(viewOf(rep.Kept.Itemsets, db.Len()), opts)
+	if len(after) != 0 {
+		t.Errorf("%d breaches survive suppression: %v", len(after), after)
+	}
+	if rep.Kept.Len()+len(rep.Suppressed) != res.Len() {
+		t.Errorf("itemset accounting broken: %d + %d != %d",
+			rep.Kept.Len(), len(rep.Suppressed), res.Len())
+	}
+}
+
+// The cost comparison the paper makes in §I: on a realistic stream window,
+// suppression loses entire itemsets where Butterfly would keep all of them
+// within ε error.
+func TestSuppressionLosesUtility(t *testing.T) {
+	gen := data.WebViewLike(13)
+	db := itemset.NewDatabase(gen.Generate(800))
+	res, err := mining.Eclat(db, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := attack.Options{VulnSupport: 4}
+	if len(attack.IntraWindow(viewOf(res.Itemsets, db.Len()), opts)) == 0 {
+		t.Skip("no breaches in this window")
+	}
+	rep, err := Sanitize(res, db.Len(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suppressed) == 0 {
+		t.Fatal("breaches existed but nothing was suppressed")
+	}
+	t.Logf("suppression removed %d of %d itemsets in %d rounds",
+		len(rep.Suppressed), res.Len(), rep.Rounds)
+}
+
+// Suppression must terminate on pathological all-breach outputs.
+func TestSanitizeConvergesOnDenseBreaches(t *testing.T) {
+	// Every record unique: every pair-lattice derives support-1 patterns.
+	var recs []itemset.Itemset
+	for i := 0; i < 6; i++ {
+		recs = append(recs, itemset.New(0, itemset.Item(i+1)))
+	}
+	db := itemset.NewDatabase(recs)
+	res, err := mining.Eclat(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sanitize(res, db.Len(), attack.Options{VulnSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := attack.IntraWindow(viewOf(rep.Kept.Itemsets, db.Len()), attack.Options{VulnSupport: 1})
+	if len(after) != 0 {
+		t.Errorf("%d breaches survive", len(after))
+	}
+}
