@@ -12,6 +12,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiment"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
 )
 
 // benchOpts shrinks a figure run to benchmark scale: one dataset, few
@@ -94,6 +98,107 @@ func BenchmarkPipelinePush(b *testing.B) {
 		stream.Push(gen.Next())
 	}
 }
+
+// benchWindow mines one dense synthetic window for the mining and
+// publication micro-benchmarks.
+func benchWindow(b *testing.B) (*itemset.Database, *mining.Result) {
+	b.Helper()
+	db := itemset.NewDatabase(data.WebViewLike(1).Generate(2000))
+	res, err := mining.Eclat(db, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, res
+}
+
+// BenchmarkEclatSerial measures single-threaded Eclat over one window — the
+// "before" of the sharded parallel miner.
+func BenchmarkEclatSerial(b *testing.B) {
+	db, _ := benchWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.Eclat(db, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEclatParallel8 measures Eclat with the prefix-class recursion
+// sharded across 8 workers.
+func BenchmarkEclatParallel8(b *testing.B) {
+	db, _ := benchWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.EclatParallel(db, 25, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPublish measures repeated sanitized releases of one mined window at
+// the given perturbation parallelism. The republication cache is disabled so
+// every iteration pays the full perturbation cost.
+func benchPublish(b *testing.B, workers int) {
+	_, res := benchWindow(b)
+	pub, err := core.NewPublisher(
+		core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5},
+		core.Hybrid{Lambda: 0.4}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub.SetWorkers(workers)
+	pub.SetRepublicationCache(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pub.Publish(res, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublishSequential measures the historical one-stream perturbation
+// path — the "before" of the chunked parallel publisher.
+func BenchmarkPublishSequential(b *testing.B) { benchPublish(b, 1) }
+
+// BenchmarkPublishChunked8 measures the chunked-RNG perturbation path with
+// an 8-worker pool.
+func BenchmarkPublishChunked8(b *testing.B) { benchPublish(b, 8) }
+
+// benchEndToEnd streams 3000 synthetic records through the full publication
+// pipeline (window 1000, publishing every 200 slides) at the given
+// parallelism.
+func benchEndToEnd(b *testing.B, workers int) {
+	records := data.WebViewLike(1).Generate(3000)
+	p, err := pipeline.New(pipeline.Config{
+		WindowSize:   1000,
+		Params:       core.Params{Epsilon: 0.016, Delta: 0.4, MinSupport: 25, VulnSupport: 5},
+		Scheme:       core.Hybrid{Lambda: 0.4},
+		Seed:         1,
+		PublishEvery: 200,
+		Workers:      workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		windows := 0
+		if err := p.Run(records, func(pipeline.Window) error { windows++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if windows == 0 {
+			b.Fatal("no windows published")
+		}
+	}
+}
+
+// BenchmarkEndToEndSerial measures the full mine→perturb→emit loop on the
+// Workers=1 reference path.
+func BenchmarkEndToEndSerial(b *testing.B) { benchEndToEnd(b, 1) }
+
+// BenchmarkEndToEndWorkers8 measures the staged pipeline with 8 workers
+// (overlapped stages + chunked perturbation).
+func BenchmarkEndToEndWorkers8(b *testing.B) { benchEndToEnd(b, 8) }
 
 // BenchmarkPipelinePublish measures one sanitized release of a full window
 // (FEC partitioning, bias optimization, perturbation).

@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/itemset"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -52,9 +54,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		dumpDir      = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
 		raw          = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
+		workers      = fs.Int("workers", runtime.NumCPU(), "pipeline parallelism (1: serial reference path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d must be >= 1", *workers)
 	}
 
 	records, vocab, err := loadRecords(*input, *gen, *n, *seed, stdin)
@@ -69,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stream, err := core.NewStream(core.StreamConfig{
+	pipe, err := pipeline.New(pipeline.Config{
 		WindowSize: *window,
 		Params: core.Params{
 			Epsilon:     *epsilon,
@@ -77,9 +83,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MinSupport:  *support,
 			VulnSupport: *vuln,
 		},
-		Scheme:     sch,
-		Seed:       *seed,
-		ClosedOnly: *closed,
+		Scheme:       sch,
+		Seed:         *seed,
+		ClosedOnly:   *closed,
+		Raw:          *raw,
+		PublishEvery: *publishEvery,
+		Workers:      *workers,
 	})
 	if err != nil {
 		return err
@@ -98,44 +107,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	published := 0
-	sinceFull := 0
-	for i, rec := range records {
-		stream.Push(rec)
-		if !stream.Ready() {
-			continue
-		}
-		sinceFull++
-		atEnd := i == len(records)-1
-		due := *publishEvery > 0 && (sinceFull-1)%*publishEvery == 0
-		if !due && !atEnd {
-			continue
-		}
-		var out *core.Output
-		if *raw {
-			out = rawOutput(stream, *window)
-		} else {
-			var err error
-			out, err = stream.Publish()
-			if err != nil {
-				return err
-			}
-		}
+	err = pipe.Run(records, func(w pipeline.Window) error {
 		published++
-		printWindow(stdout, out, vocab, *top, i+1, *window)
+		printWindow(stdout, w.Output, vocab, *top, w.Position, *window)
 		if *dumpDir != "" {
-			if err := dumpWindow(*dumpDir, i+1, out, vocab); err != nil {
-				return err
-			}
+			return dumpWindow(*dumpDir, w.Position, w.Output, vocab)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(stdout, "# %d window(s) published over %d records\n", published, len(records))
 	return nil
-}
-
-// rawOutput packages the true mining result as an Output — what a system
-// without output-privacy protection releases.
-func rawOutput(stream *core.Stream, windowSize int) *core.Output {
-	return core.NewRawOutput(stream.Mine(), windowSize)
 }
 
 // dumpWindow writes one published window in the audit format.

@@ -83,6 +83,45 @@ func TestRunRawAndDump(t *testing.T) {
 	}
 }
 
+// TestRunWorkersDeterminism pins the CLI half of the chunked-RNG contract:
+// every -workers count >= 2 must print byte-identical output for a fixed
+// seed, and -workers 1 (the serial reference path) must itself be
+// reproducible run over run.
+func TestRunWorkersDeterminism(t *testing.T) {
+	runWith := func(workers string) string {
+		var out bytes.Buffer
+		err := run([]string{
+			"-gen", "webview", "-n", "1500", "-window", "600", "-support", "12",
+			"-epsilon", "0.1", "-delta", "0.4", "-scheme", "hybrid",
+			"-publish-every", "200", "-seed", "9", "-workers", workers,
+		}, nil, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	ref := runWith("2")
+	if !strings.Contains(ref, "window(s) published") {
+		t.Fatalf("unexpected output:\n%s", ref)
+	}
+	for _, workers := range []string{"3", "8"} {
+		if got := runWith(workers); got != ref {
+			t.Errorf("-workers %s output differs from -workers 2:\n%s\nvs\n%s", workers, got, ref)
+		}
+	}
+	if first, second := runWith("1"), runWith("1"); first != second {
+		t.Error("-workers 1 not reproducible across runs")
+	}
+}
+
+// TestRunWorkersValidation rejects non-positive worker counts.
+func TestRunWorkersValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-gen", "webview", "-workers", "0"}, nil, &out); err == nil {
+		t.Error("-workers 0 accepted")
+	}
+}
+
 func TestBuildScheme(t *testing.T) {
 	for _, name := range []string{"basic", "order", "op", "ratio", "rp", "hybrid"} {
 		if _, err := buildScheme(name, 0.4, 2); err != nil {

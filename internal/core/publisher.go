@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/fec"
@@ -81,9 +82,19 @@ type Publisher struct {
 	lastBiases []int
 	biasReuses int
 
+	// workers selects the perturbation path: <= 1 runs the historical
+	// sequential draw order, >= 2 the chunked parallel order (see SetWorkers).
+	workers int
+
 	optDur     time.Duration
 	perturbDur time.Duration
 }
+
+// publishChunkClasses is the number of FECs per perturbation chunk in the
+// parallel publish path. It is a fixed constant — NOT derived from the worker
+// count — so that chunk boundaries, and therefore every chunk's RNG stream,
+// are identical no matter how many workers execute them.
+const publishChunkClasses = 4
 
 type ladderRung struct {
 	support int
@@ -150,6 +161,30 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 		Items:      make([]PublishedItemset, 0, fec.TotalMembers(classes)),
 		byKey:      make(map[string]int, fec.TotalMembers(classes)),
 	}
+	if pub.workers > 1 {
+		pub.perturbChunked(out, classes, biases, half)
+	} else {
+		pub.perturbSequential(out, classes, biases, half)
+	}
+	sort.Slice(out.Items, func(i, j int) bool {
+		a, b := out.Items[i], out.Items[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if a.Set.Len() != b.Set.Len() {
+			return a.Set.Len() < b.Set.Len()
+		}
+		return a.Set.Key() < b.Set.Key()
+	})
+	pub.sweepCache()
+	return out, nil
+}
+
+// perturbSequential is the historical perturbation loop: one RNG stream,
+// consumed class by class in support order. Its draw order — and therefore
+// its output for a fixed seed — is frozen; the byte-compatibility of
+// workers=1 publication with pre-parallel releases depends on it.
+func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases []int, half int) {
 	for ci, class := range classes {
 		// One shared draw per FEC keeps intra-class equality (optimized
 		// schemes); the basic scheme redraws per itemset.
@@ -173,18 +208,122 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 			out.byKey[key] = sanitized
 		}
 	}
-	sort.Slice(out.Items, func(i, j int) bool {
-		a, b := out.Items[i], out.Items[j]
-		if a.Support != b.Support {
-			return a.Support > b.Support
+}
+
+// chunkItem is one perturbed itemset produced by a parallel chunk, carrying
+// the cache update to apply after the fan-in.
+type chunkItem struct {
+	key         string
+	set         itemset.Itemset
+	trueSupport int
+	sanitized   int
+}
+
+// perturbChunked is the parallel perturbation path. The FEC ladder is cut
+// into fixed-size chunks of publishChunkClasses classes; chunk c draws from
+// its own rng.Source seeded with Mix(windowSeed, c), where windowSeed is one
+// draw from the publisher's stream. Chunk boundaries and seeds depend only on
+// the data and the publisher's seed, never on the worker count, so any pool
+// size >= 2 publishes identical output. The republication cache is read-only
+// during the fan-out (the publisher goroutine is the only writer, and it
+// writes only after wg.Wait), which keeps the path race-free.
+func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []int, half int) {
+	windowSeed := pub.src.Uint64()
+	nChunks := (len(classes) + publishChunkClasses - 1) / publishChunkClasses
+	if nChunks == 0 {
+		return
+	}
+	workers := pub.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	sharedDraws := pub.scheme.SharedDraws()
+
+	perChunk := make([][]chunkItem, nChunks)
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range tasks {
+				src := rng.New(rng.Mix(windowSeed, uint64(c)))
+				start := c * publishChunkClasses
+				end := start + publishChunkClasses
+				if end > len(classes) {
+					end = len(classes)
+				}
+				var local []chunkItem
+				for ci := start; ci < end; ci++ {
+					class := classes[ci]
+					sharedOffset := biases[ci] + src.IntRange(-half, half)
+					for _, member := range class.Members {
+						key := member.Key()
+						var sanitized int
+						if e, ok := pub.cache[key]; ok && !pub.cacheDisabled && e.trueSupport == class.Support {
+							sanitized = e.sanitized
+						} else if sharedDraws {
+							sanitized = class.Support + sharedOffset
+						} else {
+							sanitized = class.Support + biases[ci] + src.IntRange(-half, half)
+						}
+						local = append(local, chunkItem{
+							key:         key,
+							set:         member,
+							trueSupport: class.Support,
+							sanitized:   sanitized,
+						})
+					}
+				}
+				perChunk[c] = local
+			}
+		}()
+	}
+	for c := 0; c < nChunks; c++ {
+		tasks <- c
+	}
+	close(tasks)
+	wg.Wait()
+
+	for _, local := range perChunk {
+		for _, it := range local {
+			pub.cache[it.key] = cacheEntry{
+				trueSupport: it.trueSupport,
+				sanitized:   it.sanitized,
+				lastSeen:    pub.window,
+			}
+			out.Items = append(out.Items, PublishedItemset{Set: it.set, Support: it.sanitized})
+			out.byKey[it.key] = it.sanitized
 		}
-		if a.Set.Len() != b.Set.Len() {
-			return a.Set.Len() < b.Set.Len()
-		}
-		return a.Set.Key() < b.Set.Key()
-	})
-	pub.sweepCache()
-	return out, nil
+	}
+}
+
+// SetWorkers selects the perturbation path of subsequent Publish calls.
+//
+// The determinism contract is two-tiered:
+//
+//   - workers <= 1 (the default) runs the historical sequential draw order;
+//     output is byte-identical to pre-parallel releases for a fixed seed.
+//   - workers >= 2 runs the chunked-RNG parallel order; output is identical
+//     for EVERY worker count >= 2 with a fixed seed, because chunk boundaries
+//     and per-chunk seeds are functions of the data alone.
+//
+// The two tiers draw different random offsets (one stream vs. one stream per
+// chunk), so workers=1 and workers=2 outputs differ — both are deterministic,
+// equally calibrated, and equally private.
+func (pub *Publisher) SetWorkers(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	pub.workers = workers
+}
+
+// Workers reports the configured perturbation parallelism (see SetWorkers).
+func (pub *Publisher) Workers() int {
+	if pub.workers < 1 {
+		return 1
+	}
+	return pub.workers
 }
 
 // biasesFor computes (or reuses) the per-class biases. The bias of a class

@@ -7,17 +7,20 @@ import (
 	"repro/internal/itemset"
 )
 
-// Eclat mines all frequent itemsets of db with support >= minSupport using
-// depth-first search over vertical transaction-id bitmaps. It produces the
-// same Result as Apriori, typically much faster on the dense windows the
-// stream experiments use.
-func Eclat(db *itemset.Database, minSupport int) (*Result, error) {
-	if err := validate(db, minSupport); err != nil {
-		return nil, err
-	}
-	n := db.Len()
+// eclatVertical is one frequent single item with its vertical transaction-id
+// bitmap — the root of one prefix equivalence class of the Eclat search tree.
+type eclatVertical struct {
+	item itemset.Item
+	bm   *bitset.Bitset
+	sup  int
+}
 
-	// Build vertical bitmaps for frequent single items.
+// eclatRoots builds the vertical bitmaps of db's frequent single items,
+// sorted by item id. The returned roots are read-only from here on: both the
+// serial recursion and the parallel workers only AND them into fresh bitmaps,
+// which is what makes sharing them across goroutines safe.
+func eclatRoots(db *itemset.Database, minSupport int) []eclatVertical {
+	n := db.Len()
 	tidmaps := map[itemset.Item]*bitset.Bitset{}
 	for tid, rec := range db.Records() {
 		for _, it := range rec.Items() {
@@ -29,39 +32,47 @@ func Eclat(db *itemset.Database, minSupport int) (*Result, error) {
 			bm.Set(tid)
 		}
 	}
-
-	type vertical struct {
-		item itemset.Item
-		bm   *bitset.Bitset
-		sup  int
-	}
-	var roots []vertical
-	var out []FrequentItemset
+	var roots []eclatVertical
 	for it, bm := range tidmaps {
 		if sup := bm.Count(); sup >= minSupport {
-			roots = append(roots, vertical{it, bm, sup})
-			out = append(out, FrequentItemset{itemset.New(it), sup})
+			roots = append(roots, eclatVertical{it, bm, sup})
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].item < roots[j].item })
+	return roots
+}
 
-	// Depth-first extension: at each prefix, try to extend with every
-	// frequent sibling item larger than the last one.
-	var extend func(prefix itemset.Itemset, prefixBM *bitset.Bitset, siblings []vertical)
-	extend = func(prefix itemset.Itemset, prefixBM *bitset.Bitset, siblings []vertical) {
-		for i, s := range siblings {
-			bm := prefixBM.And(s.bm)
-			sup := bm.Count()
-			if sup < minSupport {
-				continue
-			}
-			next := prefix.With(s.item)
-			out = append(out, FrequentItemset{next, sup})
-			extend(next, bm, siblings[i+1:])
+// eclatExtend runs the depth-first Eclat extension below one prefix: at each
+// prefix, try to extend with every frequent sibling item larger than the last
+// one, appending discoveries to *out.
+func eclatExtend(prefix itemset.Itemset, prefixBM *bitset.Bitset, siblings []eclatVertical, minSupport int, out *[]FrequentItemset) {
+	for i, s := range siblings {
+		bm := prefixBM.And(s.bm)
+		sup := bm.Count()
+		if sup < minSupport {
+			continue
 		}
+		next := prefix.With(s.item)
+		*out = append(*out, FrequentItemset{next, sup})
+		eclatExtend(next, bm, siblings[i+1:], minSupport, out)
+	}
+}
+
+// Eclat mines all frequent itemsets of db with support >= minSupport using
+// depth-first search over vertical transaction-id bitmaps. It produces the
+// same Result as Apriori, typically much faster on the dense windows the
+// stream experiments use.
+func Eclat(db *itemset.Database, minSupport int) (*Result, error) {
+	if err := validate(db, minSupport); err != nil {
+		return nil, err
+	}
+	roots := eclatRoots(db, minSupport)
+	var out []FrequentItemset
+	for _, r := range roots {
+		out = append(out, FrequentItemset{itemset.New(r.item), r.sup})
 	}
 	for i, r := range roots {
-		extend(itemset.New(r.item), r.bm, roots[i+1:])
+		eclatExtend(itemset.New(r.item), r.bm, roots[i+1:], minSupport, &out)
 	}
 	return NewResult(minSupport, out), nil
 }

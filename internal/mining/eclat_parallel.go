@@ -1,0 +1,69 @@
+package mining
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/itemset"
+)
+
+// EclatParallel mines the same frequent itemsets as Eclat, sharding the
+// depth-first search across a bounded worker pool. Each prefix equivalence
+// class — one frequent single item together with its larger siblings — is an
+// independent subtree of the Eclat search space, so the classes are fanned
+// out to the workers and mined without any shared mutable state: the root
+// bitmaps are read-only after construction and every worker ANDs them into
+// fresh bitmaps.
+//
+// The result is merged per class in root order and then normalized by
+// NewResult, so the output is identical to Eclat's for every worker count.
+// workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 degenerates to the
+// serial search.
+func EclatParallel(db *itemset.Database, minSupport, workers int) (*Result, error) {
+	if err := validate(db, minSupport); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Eclat(db, minSupport)
+	}
+	roots := eclatRoots(db, minSupport)
+	var out []FrequentItemset
+	for _, r := range roots {
+		out = append(out, FrequentItemset{itemset.New(r.item), r.sup})
+	}
+	if workers > len(roots) && len(roots) > 0 {
+		workers = len(roots)
+	}
+
+	// One task per prefix class, claimed off a channel so the early (large)
+	// subtrees spread across workers; results land in per-class slots and are
+	// concatenated in class order, keeping the merge deterministic.
+	perClass := make([][]FrequentItemset, len(roots))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				r := roots[i]
+				var local []FrequentItemset
+				eclatExtend(itemset.New(r.item), r.bm, roots[i+1:], minSupport, &local)
+				perClass[i] = local
+			}
+		}()
+	}
+	for i := range roots {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+
+	for _, local := range perClass {
+		out = append(out, local...)
+	}
+	return NewResult(minSupport, out), nil
+}

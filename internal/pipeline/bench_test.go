@@ -1,0 +1,49 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/pipeline"
+)
+
+func benchRun(b *testing.B, workers int, records []itemset.Itemset) {
+	b.Helper()
+	cfg := testConfig(workers)
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		windows := 0
+		if err := p.Run(records, func(pipeline.Window) error {
+			windows++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if windows == 0 {
+			b.Fatal("no windows published")
+		}
+	}
+}
+
+// BenchmarkRunSerial measures the Workers=1 reference path end to end
+// (incremental mining + sequential perturbation, all inline).
+func BenchmarkRunSerial(b *testing.B) {
+	records := testRecords(b, 1600)
+	benchRun(b, 1, records)
+}
+
+// BenchmarkRunStaged2 measures the staged pipeline with 2 workers.
+func BenchmarkRunStaged2(b *testing.B) {
+	records := testRecords(b, 1600)
+	benchRun(b, 2, records)
+}
+
+// BenchmarkRunStaged8 measures the staged pipeline with 8 workers.
+func BenchmarkRunStaged8(b *testing.B) {
+	records := testRecords(b, 1600)
+	benchRun(b, 8, records)
+}

@@ -1,0 +1,246 @@
+// Package pipeline runs the end-to-end Butterfly publication loop — sliding
+// window mining, output perturbation, and sanitized-window delivery — as a
+// staged concurrent pipeline.
+//
+// The three stages communicate over bounded channels:
+//
+//	mine ──(mining.Result)──▶ perturb ──(Window)──▶ emit
+//
+// The miner stage pushes records into the incremental Moment miner and
+// snapshots the frequent itemsets at every publication point; the perturb
+// stage sanitizes each snapshot with the core.Publisher (itself fanning the
+// per-itemset perturbation out to a chunked worker pool); the emit stage
+// hands finished windows to the caller in stream order. While window w is
+// being perturbed or emitted, the miner is already sliding toward window
+// w+1, so the stages overlap instead of alternating.
+//
+// Determinism contract (see core.Publisher.SetWorkers): Workers <= 1 runs
+// everything inline on the caller's goroutine with the historical sequential
+// draw order — byte-identical to the pre-pipeline implementation. Workers
+// >= 2 runs the staged pipeline with chunked RNG; every worker count >= 2
+// publishes identical output for a fixed seed.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// Config assembles a publication pipeline.
+type Config struct {
+	// WindowSize is the sliding window H.
+	WindowSize int
+	// Params is the Butterfly calibration; Params.MinSupport doubles as the
+	// mining threshold C.
+	Params core.Params
+	// Scheme selects the bias setting; nil means core.Basic.
+	Scheme core.Scheme
+	// Seed drives the perturbation; equal seeds reproduce equal outputs.
+	Seed uint64
+	// ClosedOnly restricts publication to closed frequent itemsets.
+	ClosedOnly bool
+	// Raw publishes true supports without perturbation (audit mode).
+	Raw bool
+	// PublishEvery publishes every N slides after the window first fills;
+	// 0 publishes once, at the end of the record stream.
+	PublishEvery int
+	// Workers is the parallelism: <= 1 is the serial reference path, >= 2
+	// enables the staged pipeline and the publisher's chunked perturbation.
+	Workers int
+	// Buffer is the depth of the inter-stage channels (default 4). Deeper
+	// buffers let the miner run further ahead of the perturbation stage.
+	Buffer int
+}
+
+// Window is one published release: the sanitized output of the sliding
+// window ending at stream position Position.
+type Window struct {
+	// Position is N, the 1-based stream position of the window's last record.
+	Position int
+	// Output is the sanitized (or raw, in audit mode) mining output.
+	Output *core.Output
+}
+
+// Pipeline is a reusable description of a publication run. Each call to Run
+// builds a fresh miner and publisher from the Config, so repeated runs over
+// the same records reproduce the same outputs.
+type Pipeline struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Buffer < 0 {
+		return nil, fmt.Errorf("pipeline: negative buffer %d", cfg.Buffer)
+	}
+	if cfg.PublishEvery < 0 {
+		return nil, fmt.Errorf("pipeline: negative publish interval %d", cfg.PublishEvery)
+	}
+	// Delegate parameter/window validation to the stream constructor so the
+	// two entry points cannot drift apart.
+	if _, err := cfg.newStream(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+func (cfg Config) newStream() (*core.Stream, error) {
+	return core.NewStream(core.StreamConfig{
+		WindowSize: cfg.WindowSize,
+		Params:     cfg.Params,
+		Scheme:     cfg.Scheme,
+		Seed:       cfg.Seed,
+		ClosedOnly: cfg.ClosedOnly,
+	})
+}
+
+// minedWindow is one mining snapshot in flight between the mine and perturb
+// stages. The *mining.Result is a fully materialized copy of the window's
+// frequent itemsets, safe to perturb while the miner slides onward.
+type minedWindow struct {
+	position int
+	res      *mining.Result
+}
+
+// Run streams records through the pipeline and calls emit once per published
+// window, in stream order. It returns the first error from any stage
+// (including emit, which cancels the upstream stages). The number of records
+// must be at least WindowSize.
+func (p *Pipeline) Run(records []itemset.Itemset, emit func(Window) error) error {
+	if len(records) < p.cfg.WindowSize {
+		return fmt.Errorf("pipeline: stream has %d records, fewer than the window size %d",
+			len(records), p.cfg.WindowSize)
+	}
+	stream, err := p.cfg.newStream()
+	if err != nil {
+		return err
+	}
+	if p.cfg.Workers <= 1 {
+		return p.runSerial(stream, records, emit)
+	}
+	return p.runStaged(stream, records, emit)
+}
+
+// runSerial is the reference path: mine, perturb, and emit inline, exactly
+// as the pre-pipeline implementation did. Its behaviour (including the RNG
+// draw order) is frozen; the staged path is tested against it.
+func (p *Pipeline) runSerial(stream *core.Stream, records []itemset.Itemset, emit func(Window) error) error {
+	sinceFull := 0
+	for i, rec := range records {
+		stream.Push(rec)
+		if !stream.Ready() {
+			continue
+		}
+		sinceFull++
+		if !p.publishDue(sinceFull, i == len(records)-1) {
+			continue
+		}
+		var out *core.Output
+		if p.cfg.Raw {
+			out = core.NewRawOutput(stream.Mine(), p.cfg.WindowSize)
+		} else {
+			var err error
+			out, err = stream.Publish()
+			if err != nil {
+				return err
+			}
+		}
+		if err := emit(Window{Position: i + 1, Output: out}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishDue reports whether a release is owed at the current slide.
+func (p *Pipeline) publishDue(sinceFull int, atEnd bool) bool {
+	due := p.cfg.PublishEvery > 0 && (sinceFull-1)%p.cfg.PublishEvery == 0
+	return due || atEnd
+}
+
+// runStaged is the concurrent path: a miner goroutine and a perturbation
+// goroutine connected by bounded channels, with emit running on the caller's
+// goroutine. Channel order preserves stream order end to end.
+func (p *Pipeline) runStaged(stream *core.Stream, records []itemset.Itemset, emit func(Window) error) error {
+	stream.Publisher().SetWorkers(p.cfg.Workers)
+	buffer := p.cfg.Buffer
+	if buffer == 0 {
+		buffer = 4
+	}
+	mined := make(chan minedWindow, buffer)
+	outs := make(chan Window, buffer)
+	errc := make(chan error, 2)
+	done := make(chan struct{})
+	var cancelOnce sync.Once
+	cancel := func() { cancelOnce.Do(func() { close(done) }) }
+
+	// Stage 1: slide the window and snapshot at publication points.
+	go func() {
+		defer close(mined)
+		sinceFull := 0
+		for i, rec := range records {
+			stream.Push(rec)
+			if !stream.Ready() {
+				continue
+			}
+			sinceFull++
+			if !p.publishDue(sinceFull, i == len(records)-1) {
+				continue
+			}
+			snap := stream.Mine()
+			select {
+			case mined <- minedWindow{position: i + 1, res: snap}:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Stage 2: perturb each snapshot in arrival (= stream) order.
+	go func() {
+		defer close(outs)
+		for m := range mined {
+			var out *core.Output
+			if p.cfg.Raw {
+				out = core.NewRawOutput(m.res, p.cfg.WindowSize)
+			} else {
+				var err error
+				out, err = stream.Publisher().Publish(m.res, p.cfg.WindowSize)
+				if err != nil {
+					errc <- err
+					cancel()
+					return
+				}
+			}
+			select {
+			case outs <- Window{Position: m.position, Output: out}:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Stage 3 (caller's goroutine): deliver windows in order.
+	var emitErr error
+	for w := range outs {
+		if emitErr == nil {
+			emitErr = emit(w)
+			if emitErr != nil {
+				cancel()
+			}
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}

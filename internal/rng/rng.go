@@ -9,6 +9,23 @@ package rng
 
 import "math"
 
+// Mix deterministically combines the given 64-bit words into one
+// well-scrambled seed by folding each word through the SplitMix64 finalizer.
+// It is the canonical way to derive independent sub-stream seeds from
+// structured coordinates (base seed, window index, chunk index, ...): equal
+// inputs give equal seeds, and nearby inputs give decorrelated streams.
+func Mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Source is a deterministic pseudo-random source (SplitMix64).
 // It is NOT safe for concurrent use; give each goroutine its own Source,
 // e.g. via Split.
