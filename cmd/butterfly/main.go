@@ -9,21 +9,35 @@
 //	butterfly -input transactions.dat -window 2000 -support 25
 //	butterfly -gen webview -n 10000 -publish-every 500 -scheme hybrid
 //
+// Records are consumed incrementally — a file larger than memory or an
+// unbounded stdin stream both work. Malformed input lines are rejected by
+// default; -max-bad-records N skips and quarantines up to N of them (-1 for
+// no limit). Transient sink failures are retried with exponential backoff
+// (-emit-retries), and -window-timeout bounds how long any one window may
+// take end to end.
+//
+// On SIGINT or SIGTERM the stream is drained gracefully: in-flight windows
+// finish publishing, then a partial-run summary prints. A second signal
+// aborts immediately.
+//
 // Each published window prints the top itemsets with SANITIZED supports —
 // the only supports that ever leave the system.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/itemset"
 	"repro/internal/pipeline"
 )
 
@@ -37,24 +51,27 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("butterfly", flag.ContinueOnError)
 	var (
-		input        = fs.String("input", "", "transaction file (one transaction per line); '-' for stdin")
-		gen          = fs.String("gen", "", "synthetic stream instead of -input: webview or pos")
-		n            = fs.Int("n", 10000, "records to stream with -gen")
-		window       = fs.Int("window", 2000, "sliding window size H")
-		support      = fs.Int("support", 25, "minimum support C")
-		vuln         = fs.Int("vuln", 5, "vulnerable support K")
-		epsilon      = fs.Float64("epsilon", 0.016, "precision bound ε (max relative squared error)")
-		delta        = fs.Float64("delta", 0.4, "privacy floor δ (min relative inference error)")
-		scheme       = fs.String("scheme", "hybrid", "bias scheme: basic, order, ratio or hybrid")
-		lambda       = fs.Float64("lambda", 0.4, "hybrid weight λ (order vs ratio)")
-		gamma        = fs.Int("gamma", 2, "order-preserving DP lookback γ")
-		publishEvery = fs.Int("publish-every", 0, "publish every N slides after the window fills (0: once at end)")
-		top          = fs.Int("top", 10, "itemsets printed per published window (0 = all)")
-		closed       = fs.Bool("closed", false, "publish only closed frequent itemsets")
-		seed         = fs.Uint64("seed", 1, "random seed")
-		dumpDir      = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
-		raw          = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
-		workers      = fs.Int("workers", runtime.NumCPU(), "pipeline parallelism (1: serial reference path)")
+		input         = fs.String("input", "", "transaction file (one transaction per line); '-' for stdin")
+		gen           = fs.String("gen", "", "synthetic stream instead of -input: webview or pos")
+		n             = fs.Int("n", 10000, "records to stream with -gen")
+		window        = fs.Int("window", 2000, "sliding window size H")
+		support       = fs.Int("support", 25, "minimum support C")
+		vuln          = fs.Int("vuln", 5, "vulnerable support K")
+		epsilon       = fs.Float64("epsilon", 0.016, "precision bound ε (max relative squared error)")
+		delta         = fs.Float64("delta", 0.4, "privacy floor δ (min relative inference error)")
+		scheme        = fs.String("scheme", "hybrid", "bias scheme: basic, order, ratio or hybrid")
+		lambda        = fs.Float64("lambda", 0.4, "hybrid weight λ (order vs ratio)")
+		gamma         = fs.Int("gamma", 2, "order-preserving DP lookback γ")
+		publishEvery  = fs.Int("publish-every", 0, "publish every N slides after the window fills (0: once at end)")
+		top           = fs.Int("top", 10, "itemsets printed per published window (0 = all)")
+		closed        = fs.Bool("closed", false, "publish only closed frequent itemsets")
+		seed          = fs.Uint64("seed", 1, "random seed")
+		dumpDir       = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
+		raw           = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
+		workers       = fs.Int("workers", runtime.NumCPU(), "pipeline parallelism (1: serial reference path)")
+		maxBadRecords = fs.Int("max-bad-records", 0, "malformed input records to skip before failing (0: fail fast, -1: unlimited)")
+		emitRetries   = fs.Int("emit-retries", 3, "retries for transient publish failures before the run fails")
+		windowTimeout = fs.Duration("window-timeout", 0, "per-window watchdog: fail the run if one window takes longer (0: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,12 +80,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-workers %d must be >= 1", *workers)
 	}
 
-	records, vocab, err := loadRecords(*input, *gen, *n, *seed, stdin)
+	src, vocab, closeSrc, err := buildSource(*input, *gen, *n, *seed, stdin)
 	if err != nil {
 		return err
 	}
-	if len(records) < *window {
-		return fmt.Errorf("stream has %d records, fewer than the window size %d", len(records), *window)
+	if closeSrc != nil {
+		defer closeSrc()
 	}
 
 	sch, err := buildScheme(*scheme, *lambda, *gamma)
@@ -83,12 +100,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MinSupport:  *support,
 			VulnSupport: *vuln,
 		},
-		Scheme:       sch,
-		Seed:         *seed,
-		ClosedOnly:   *closed,
-		Raw:          *raw,
-		PublishEvery: *publishEvery,
-		Workers:      *workers,
+		Scheme:        sch,
+		Seed:          *seed,
+		ClosedOnly:    *closed,
+		Raw:           *raw,
+		PublishEvery:  *publishEvery,
+		Workers:       *workers,
+		MaxBadRecords: *maxBadRecords,
+		EmitRetries:   *emitRetries,
+		WindowTimeout: *windowTimeout,
 	})
 	if err != nil {
 		return err
@@ -106,9 +126,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	published := 0
-	err = pipe.Run(records, func(w pipeline.Window) error {
-		published++
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the source so
+	// in-flight windows drain and a partial summary prints; a second signal
+	// cancels the run outright.
+	drain := pipeline.NewDrainSource(src)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		select {
+		case <-sigc:
+		case <-ctx.Done():
+			return
+		}
+		fmt.Fprintln(os.Stderr, "butterfly: interrupt — draining in-flight windows (interrupt again to abort)")
+		drain.Stop()
+		select {
+		case <-sigc:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	rep, err := pipe.RunContext(ctx, drain, func(w pipeline.Window) error {
 		printWindow(stdout, w.Output, vocab, *top, w.Position, *window)
 		if *dumpDir != "" {
 			return dumpWindow(*dumpDir, w.Position, w.Output, vocab)
@@ -116,13 +158,34 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		// A drain interrupt before the window ever filled is a deliberate
+		// partial run, not a stream defect — fall through to the summary.
+		if !(drain.Stopped() && errors.Is(err, pipeline.ErrShortStream)) {
+			if rep != nil && rep.Records > 0 {
+				fmt.Fprintf(os.Stderr, "butterfly: aborting after %d window(s) over %d records\n",
+					rep.Published, rep.Records)
+			}
+			return err
+		}
 	}
-	fmt.Fprintf(stdout, "# %d window(s) published over %d records\n", published, len(records))
+	if drain.Stopped() {
+		fmt.Fprintf(stdout, "# interrupted: the summary reflects a partial stream\n")
+	}
+	fmt.Fprintf(stdout, "# %d window(s) published over %d records\n", rep.Published, rep.Records)
+	if rep.BadRecords > 0 {
+		fmt.Fprintf(stdout, "# %d malformed record(s) skipped\n", rep.BadRecords)
+		for _, b := range rep.Quarantined {
+			fmt.Fprintf(stdout, "#   %s\n", b.String())
+		}
+	}
+	if rep.Retries > 0 {
+		fmt.Fprintf(stdout, "# %d transient failure(s) absorbed by retries\n", rep.Retries)
+	}
 	return nil
 }
 
-// dumpWindow writes one published window in the audit format.
+// dumpWindow writes one published window in the audit format, surfacing
+// flush and close failures instead of dropping them in a deferred Close.
 func dumpWindow(dir string, position int, out *core.Output, vocab *data.Vocabulary) error {
 	entries := make([]data.PublishedEntry, out.Len())
 	for i, it := range out.Items {
@@ -133,33 +196,46 @@ func dumpWindow(dir string, position int, out *core.Output, vocab *data.Vocabula
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return data.WritePublished(f, entries, vocab)
+	if err := data.WritePublished(f, entries, vocab); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
 }
 
-func loadRecords(input, gen string, n int, seed uint64, stdin io.Reader) ([]itemset.Itemset, *data.Vocabulary, error) {
+// buildSource assembles the incremental record source for the chosen input.
+// File and stdin inputs stream through a shared vocabulary (used to render
+// published itemsets); generated streams render numeric ids. The returned
+// closer, when non-nil, must be called once the run finishes.
+func buildSource(input, gen string, n int, seed uint64, stdin io.Reader) (pipeline.RecordSource, *data.Vocabulary, func() error, error) {
 	switch {
 	case input != "" && gen != "":
-		return nil, nil, fmt.Errorf("-input and -gen are mutually exclusive")
+		return nil, nil, nil, fmt.Errorf("-input and -gen are mutually exclusive")
 	case input == "-":
-		recs, vocab, err := data.ReadTransactions(stdin)
-		return recs, vocab, err
+		vocab := data.NewVocabulary()
+		return pipeline.ReaderSource(stdin, vocab), vocab, nil, nil
 	case input != "":
 		f, err := os.Open(input)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		defer f.Close()
-		recs, vocab, err := data.ReadTransactions(f)
-		return recs, vocab, err
+		vocab := data.NewVocabulary()
+		return pipeline.ReaderSource(f, vocab), vocab, f.Close, nil
 	case gen == "webview":
-		return data.WebViewLike(seed).Generate(n), nil, nil
+		return pipeline.GeneratorSource(data.WebViewLike(seed), n), nil, nil, nil
 	case gen == "pos":
-		return data.POSLike(seed).Generate(n), nil, nil
+		return pipeline.GeneratorSource(data.POSLike(seed), n), nil, nil, nil
 	case gen != "":
-		return nil, nil, fmt.Errorf("unknown generator %q (webview or pos)", gen)
+		return nil, nil, nil, fmt.Errorf("unknown generator %q (webview or pos)", gen)
 	default:
-		return nil, nil, fmt.Errorf("need -input FILE or -gen NAME")
+		return nil, nil, nil, fmt.Errorf("need -input FILE or -gen NAME")
 	}
 }
 

@@ -122,6 +122,51 @@ func TestRunWorkersValidation(t *testing.T) {
 	}
 }
 
+// TestRunMalformedStdin: malformed lines fail fast by default; with a
+// -max-bad-records budget they are skipped, counted, and reported with
+// their line numbers in the summary.
+func TestRunMalformedStdin(t *testing.T) {
+	in := strings.Repeat("a b c\na b\nb c\n", 4) + "bad\x00line\n" + strings.Repeat("a b\n", 3)
+	base := []string{
+		"-input", "-", "-window", "6", "-support", "2", "-vuln", "1",
+		"-epsilon", "0.5", "-delta", "0.3", "-scheme", "basic",
+	}
+
+	var out bytes.Buffer
+	if err := run(base, strings.NewReader(in), &out); err == nil {
+		t.Fatal("malformed input accepted without a bad-record budget")
+	}
+
+	out.Reset()
+	if err := run(append(base, "-max-bad-records", "1"), strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 malformed record(s) skipped") {
+		t.Errorf("summary missing the skip count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "line 13") {
+		t.Errorf("summary missing the quarantined line number:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "window(s) published over 15 records") {
+		t.Errorf("summary should count only well-formed records:\n%s", out.String())
+	}
+}
+
+// TestRunSupervisionFlagValidation rejects out-of-range supervision knobs.
+func TestRunSupervisionFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "webview", "-max-bad-records", "-2"},
+		{"-gen", "webview", "-emit-retries", "-1"},
+		{"-gen", "webview", "-window-timeout", "-1s"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, nil, &out); err == nil {
+			t.Errorf("case %d (%v) did not error", i, args)
+		}
+	}
+}
+
 func TestBuildScheme(t *testing.T) {
 	for _, name := range []string{"basic", "order", "op", "ratio", "rp", "hybrid"} {
 		if _, err := buildScheme(name, 0.4, 2); err != nil {

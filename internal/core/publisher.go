@@ -86,6 +86,11 @@ type Publisher struct {
 	// sequential draw order, >= 2 the chunked parallel order (see SetWorkers).
 	workers int
 
+	// chunkHook, when non-nil, runs at the start of every parallel
+	// perturbation chunk. Test-only: fault-injection tests use it to drive
+	// the worker panic-recovery path.
+	chunkHook func(chunk int)
+
 	optDur     time.Duration
 	perturbDur time.Duration
 }
@@ -138,31 +143,41 @@ func (pub *Publisher) Scheme() Scheme { return pub.scheme }
 // Publish sanitizes one window's mining result. windowSize is H (used for
 // the public output header; it may exceed res's record count during stream
 // warm-up).
+//
+// Publish is retry-safe: every error return leaves the publisher exactly as
+// it was before the call — window counter, RNG stream, republication cache
+// and bias memo untouched — so a supervised pipeline may retry the same
+// window and obtain the output a fault-free run would have published.
 func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, error) {
 	if res == nil {
 		return nil, fmt.Errorf("core: nil mining result")
 	}
-	pub.window++
 	classes := fec.Partition(res)
 	t0 := time.Now()
-	biases := pub.biasesFor(classes)
+	biases, err := pub.biasesFor(classes)
 	pub.optDur += time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	defer func() { pub.perturbDur += time.Since(t0) }()
-	if len(biases) != len(classes) {
-		return nil, fmt.Errorf("core: scheme %s returned %d biases for %d classes",
-			pub.scheme.Name(), len(biases), len(classes))
-	}
 	alpha := pub.params.Alpha()
 	half := alpha / 2
 
+	pub.window++
 	out := &Output{
 		WindowSize: windowSize,
 		Items:      make([]PublishedItemset, 0, fec.TotalMembers(classes)),
 		byKey:      make(map[string]int, fec.TotalMembers(classes)),
 	}
 	if pub.workers > 1 {
-		pub.perturbChunked(out, classes, biases, half)
+		savedSrc := *pub.src
+		if err := pub.perturbChunked(out, classes, biases, half); err != nil {
+			// Roll back so a retry redraws the identical perturbation.
+			*pub.src = savedSrc
+			pub.window--
+			return nil, err
+		}
 	} else {
 		pub.perturbSequential(out, classes, biases, half)
 	}
@@ -227,11 +242,14 @@ type chunkItem struct {
 // size >= 2 publishes identical output. The republication cache is read-only
 // during the fan-out (the publisher goroutine is the only writer, and it
 // writes only after wg.Wait), which keeps the path race-free.
-func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []int, half int) {
+// It returns an error — without writing any cache entry — if a worker
+// panicked, so Publish can roll the publisher state back and stay
+// retry-safe.
+func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []int, half int) error {
 	windowSeed := pub.src.Uint64()
 	nChunks := (len(classes) + publishChunkClasses - 1) / publishChunkClasses
 	if nChunks == 0 {
-		return
+		return nil
 	}
 	workers := pub.workers
 	if workers > nChunks {
@@ -240,13 +258,31 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 	sharedDraws := pub.scheme.SharedDraws()
 
 	perChunk := make([][]chunkItem, nChunks)
-	tasks := make(chan int)
+	// Pre-queue every chunk before the workers start: if a worker dies to a
+	// recovered panic, the remaining sends must not block on it.
+	tasks := make(chan int, nChunks)
+	for c := 0; c < nChunks; c++ {
+		tasks <- c
+	}
+	close(tasks)
+	var panicOnce sync.Once
+	var panicErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicOnce.Do(func() {
+						panicErr = fmt.Errorf("core: perturbation worker panicked: %v", v)
+					})
+				}
+			}()
 			for c := range tasks {
+				if pub.chunkHook != nil {
+					pub.chunkHook(c)
+				}
 				src := rng.New(rng.Mix(windowSeed, uint64(c)))
 				start := c * publishChunkClasses
 				end := start + publishChunkClasses
@@ -279,11 +315,10 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 			}
 		}()
 	}
-	for c := 0; c < nChunks; c++ {
-		tasks <- c
-	}
-	close(tasks)
 	wg.Wait()
+	if panicErr != nil {
+		return panicErr
+	}
 
 	for _, local := range perChunk {
 		for _, it := range local {
@@ -296,6 +331,7 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 			out.byKey[it.key] = it.sanitized
 		}
 	}
+	return nil
 }
 
 // SetWorkers selects the perturbation path of subsequent Publish calls.
@@ -331,19 +367,25 @@ func (pub *Publisher) Workers() int {
 // functions of the FEC ladder), so when the ladder repeats between windows —
 // the common case under a slide of one record — the previous result is
 // returned without re-running the optimization.
-func (pub *Publisher) biasesFor(classes []fec.Class) []int {
+// A scheme returning the wrong number of biases is rejected BEFORE the memo
+// is written, so a misbehaving call can never poison later windows.
+func (pub *Publisher) biasesFor(classes []fec.Class) ([]int, error) {
 	ladder := make([]ladderRung, len(classes))
 	for i, c := range classes {
 		ladder[i] = ladderRung{support: c.Support, size: c.Size()}
 	}
 	if pub.lastBiases != nil && sameLadder(ladder, pub.lastLadder) {
 		pub.biasReuses++
-		return pub.lastBiases
+		return pub.lastBiases, nil
 	}
 	biases := pub.scheme.Biases(classes, pub.params)
+	if len(biases) != len(classes) {
+		return nil, fmt.Errorf("core: scheme %s returned %d biases for %d classes",
+			pub.scheme.Name(), len(biases), len(classes))
+	}
 	pub.lastLadder = ladder
 	pub.lastBiases = biases
-	return biases
+	return biases, nil
 }
 
 func sameLadder(a, b []ladderRung) bool {

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/fec"
@@ -336,7 +339,10 @@ func TestIncrementalBiasReuseSemanticsUnchanged(t *testing.T) {
 	if _, err := pub.Publish(res, 100); err != nil {
 		t.Fatal(err)
 	}
-	got := pub.biasesFor(classes) // second call: the reuse path
+	got, err := pub.biasesFor(classes) // second call: the reuse path
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pub.BiasReuses() != 1 {
 		t.Fatalf("reuse path not taken")
 	}
@@ -345,4 +351,91 @@ func TestIncrementalBiasReuseSemanticsUnchanged(t *testing.T) {
 			t.Errorf("reused bias[%d] = %d, fresh computation gives %d", i, got[i], want[i])
 		}
 	}
+}
+
+// flakyScheme misbehaves (wrong bias count) for its first failUntil calls,
+// then delegates to the wrapped scheme. It drives the Publish error paths
+// that the retry-safety contract covers.
+type flakyScheme struct {
+	Scheme
+	calls     int
+	failUntil int
+}
+
+func (s *flakyScheme) Biases(classes []fec.Class, p Params) []int {
+	s.calls++
+	if s.calls <= s.failUntil {
+		return nil // wrong length: rejected by the publisher
+	}
+	return s.Scheme.Biases(classes, p)
+}
+
+// TestPublishRetrySafeAfterSchemeError: a Publish call that fails must leave
+// the publisher state (window counter, RNG, cache, bias memo) untouched, so
+// the retried call publishes exactly what a fault-free publisher would have.
+func TestPublishRetrySafeAfterSchemeError(t *testing.T) {
+	res := resultWith(t, map[int][]itemset.Itemset{
+		30: {itemset.New(1), itemset.New(2)}, 40: {itemset.New(3)}, 55: {itemset.New(1, 3)},
+	})
+	p := testParams()
+	for _, workers := range []int{1, 4} {
+		flaky, _ := NewPublisher(p, &flakyScheme{Scheme: Hybrid{Lambda: 0.4}, failUntil: 1}, rng.New(9))
+		flaky.SetWorkers(workers)
+		if _, err := flaky.Publish(res, 100); err == nil {
+			t.Fatalf("workers=%d: misbehaving scheme accepted", workers)
+		}
+		got, err := flaky.Publish(res, 100) // the retry
+		if err != nil {
+			t.Fatalf("workers=%d: retry failed: %v", workers, err)
+		}
+
+		clean, _ := NewPublisher(p, Hybrid{Lambda: 0.4}, rng.New(9))
+		clean.SetWorkers(workers)
+		want, err := clean.Publish(res, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutputs(t, fmt.Sprintf("retry after scheme error, workers=%d", workers),
+			[]*Output{want}, []*Output{got})
+	}
+}
+
+// TestPublishRecoversWorkerPanic: a panic inside a parallel perturbation
+// chunk is recovered into an error, the publisher state rolls back, and the
+// retried Publish matches a fault-free run byte for byte.
+func TestPublishRecoversWorkerPanic(t *testing.T) {
+	res := resultWith(t, map[int][]itemset.Itemset{
+		30: {itemset.New(1), itemset.New(2)}, 40: {itemset.New(3)},
+		55: {itemset.New(1, 3)}, 70: {itemset.New(4)}, 90: {itemset.New(5)},
+	})
+	p := testParams()
+	flaky, _ := NewPublisher(p, Hybrid{Lambda: 0.4}, rng.New(9))
+	flaky.SetWorkers(4)
+	var fired atomic.Bool
+	flaky.chunkHook = func(int) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected chunk panic")
+		}
+	}
+	if _, err := flaky.Publish(res, 100); err == nil {
+		t.Fatal("worker panic not surfaced as an error")
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if flaky.CacheLen() != 0 {
+		t.Fatalf("failed publish wrote %d cache entries", flaky.CacheLen())
+	}
+	flaky.chunkHook = nil
+	got, err := flaky.Publish(res, 100)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+
+	clean, _ := NewPublisher(p, Hybrid{Lambda: 0.4}, rng.New(9))
+	clean.SetWorkers(4)
+	want, err := clean.Publish(res, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutputs(t, "retry after worker panic", []*Output{want}, []*Output{got})
 }

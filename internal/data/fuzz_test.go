@@ -2,17 +2,24 @@ package data
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
 
-// FuzzReadTransactions hammers the transaction parser with arbitrary input.
-// Whatever the bytes — malformed lines, huge numeric tokens, empty
-// transactions, binary garbage — the parser must never panic; on success,
-// every itemset must be canonical (ids dense in the vocabulary, items
-// strictly increasing) and the output must survive a write/re-read round
-// trip. A seed corpus covering the interesting syntactic shapes is checked
-// in under testdata/fuzz/FuzzReadTransactions.
+// FuzzReadTransactions hammers the transaction parser with arbitrary input,
+// through both reading disciplines. Whatever the bytes — malformed lines,
+// NUL bytes, overlong tokens, huge numeric tokens, CR-only endings, binary
+// garbage — neither path may panic. The streaming TransactionReader must
+// classify every failure as either a recoverable *ParseError (with a valid
+// 1-based line number, skipping the whole line) or a fatal scanner error;
+// the fail-fast ReadTransactions must succeed exactly when the streaming
+// pass found zero bad lines. On success, every itemset must be canonical
+// (ids dense in the vocabulary, items strictly increasing) and the output
+// must survive a write/re-read round trip. A seed corpus covering the
+// interesting syntactic shapes is checked in under
+// testdata/fuzz/FuzzReadTransactions.
 func FuzzReadTransactions(f *testing.F) {
 	for _, seed := range []string{
 		"a b c\na b\nb c\n",
@@ -25,14 +32,58 @@ func FuzzReadTransactions(f *testing.F) {
 		"solo",
 		strings.Repeat("tok ", 300) + "\n",
 		"a\x00b \xff\xfe\n",
+		// Malformed-line shapes the skip-and-count path must absorb:
+		strings.Repeat("x", MaxTokenLen+1) + " ok\nnext line\n", // overlong token
+		"good line\nbad\x00token\nalso good\n",                  // NUL mid-stream
+		"a b\rc d\re f\n",                                       // CR-only "endings" (whitespace, not errors)
+		"\x00\n\x00\x00 \x00\n",                                 // nothing but NULs
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
+		// Streaming pass with skip-and-count: every error is either a
+		// recoverable ParseError (line skipped, reader resynchronized) or a
+		// fatal scanner error that ends the stream.
+		tr := NewTransactionReader(strings.NewReader(input), nil)
+		good, bad := 0, 0
+		var fatal error
+		for {
+			_, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				if pe.Line < 1 {
+					t.Fatalf("ParseError with line %d: %v", pe.Line, pe)
+				}
+				bad++
+				continue
+			}
+			if err != nil {
+				fatal = err
+				break
+			}
+			good++
+		}
+
 		recs, vocab, err := ReadTransactions(strings.NewReader(input))
-		if err != nil {
-			// Errors (e.g. oversized lines) are fine; panics are not.
+		switch {
+		case fatal != nil:
+			if err == nil {
+				t.Fatalf("fail-fast read succeeded where the streaming read hit a fatal error: %v", fatal)
+			}
 			return
+		case bad > 0:
+			if err == nil {
+				t.Fatalf("fail-fast read accepted input with %d malformed lines", bad)
+			}
+			return
+		case err != nil:
+			t.Fatalf("fail-fast read rejected input the streaming read handled cleanly: %v", err)
+		}
+		if len(recs) != good {
+			t.Fatalf("fail-fast read parsed %d records, streaming read %d", len(recs), good)
 		}
 		for ri, rec := range recs {
 			items := rec.Items()

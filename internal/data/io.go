@@ -2,16 +2,22 @@ package data
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/itemset"
 )
 
 // Vocabulary maps external item tokens to dense itemset.Item identifiers
 // and back. Mining operates on dense ids; presentation uses the tokens.
+//
+// Vocabulary is safe for concurrent use: a streaming reader may intern new
+// tokens while an emit stage renders already-published itemsets.
 type Vocabulary struct {
+	mu      sync.RWMutex
 	byToken map[string]itemset.Item
 	tokens  []string
 }
@@ -23,10 +29,18 @@ func NewVocabulary() *Vocabulary {
 
 // ID interns a token, assigning the next dense id on first sight.
 func (v *Vocabulary) ID(token string) itemset.Item {
+	v.mu.RLock()
+	id, ok := v.byToken[token]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if id, ok := v.byToken[token]; ok {
 		return id
 	}
-	id := itemset.Item(len(v.tokens))
+	id = itemset.Item(len(v.tokens))
 	v.byToken[token] = id
 	v.tokens = append(v.tokens, token)
 	return id
@@ -35,6 +49,12 @@ func (v *Vocabulary) ID(token string) itemset.Item {
 // Token returns the external token of a dense id, or a numeric fallback for
 // ids the vocabulary never saw (synthetic data).
 func (v *Vocabulary) Token(id itemset.Item) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.token(id)
+}
+
+func (v *Vocabulary) token(id itemset.Item) string {
 	if int(id) < len(v.tokens) {
 		return v.tokens[id]
 	}
@@ -42,50 +62,196 @@ func (v *Vocabulary) Token(id itemset.Item) string {
 }
 
 // Len returns the number of interned tokens.
-func (v *Vocabulary) Len() int { return len(v.tokens) }
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.tokens)
+}
 
 // Render formats an itemset with the vocabulary's tokens.
 func (v *Vocabulary) Render(s itemset.Itemset) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, it := range s.Items() {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(v.Token(it))
+		b.WriteString(v.token(it))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
-// ReadTransactions parses a transaction stream in the conventional
-// one-transaction-per-line format: whitespace-separated item tokens
-// (numeric or not). Blank lines and lines starting with '#' are skipped.
-// Tokens are interned into the returned Vocabulary in order of first
-// appearance.
-func ReadTransactions(r io.Reader) ([]itemset.Itemset, *Vocabulary, error) {
-	vocab := NewVocabulary()
-	var out []itemset.Itemset
+// MaxTokenLen bounds a single item token in bytes. Longer tokens are treated
+// as corruption (a missing newline, binary garbage) rather than data.
+const MaxTokenLen = 1024
+
+// Reasons a token is rejected; ParseError wraps one of these.
+var (
+	// ErrTokenTooLong marks a token longer than MaxTokenLen bytes.
+	ErrTokenTooLong = errors.New("token exceeds MaxTokenLen bytes")
+	// ErrTokenNUL marks a token containing a NUL byte.
+	ErrTokenNUL = errors.New("token contains a NUL byte")
+)
+
+// ParseError reports one malformed transaction line. It is recoverable: a
+// TransactionReader that returns a *ParseError has skipped the offending
+// line (without interning any of its tokens) and continues with the next
+// line, so callers may count-and-skip instead of aborting.
+type ParseError struct {
+	// Line is the 1-based line number of the malformed line.
+	Line int
+	// Token is the offending token, clipped for display.
+	Token string
+	// Err is the rejection reason (ErrTokenTooLong, ErrTokenNUL, ...).
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("data: line %d: token %q: %v", e.Line, e.Token, e.Err)
+}
+
+// Unwrap exposes the rejection reason to errors.Is.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// clipToken truncates a token for inclusion in error messages.
+func clipToken(tok string) string {
+	const max = 48
+	if len(tok) <= max {
+		return tok
+	}
+	return tok[:max] + "..."
+}
+
+// validateToken rejects tokens that cannot be legitimate item identifiers.
+func validateToken(tok string) error {
+	if len(tok) > MaxTokenLen {
+		return ErrTokenTooLong
+	}
+	if strings.IndexByte(tok, 0) >= 0 {
+		return ErrTokenNUL
+	}
+	return nil
+}
+
+// TransactionReader streams a transaction file one record at a time without
+// buffering the whole input — the scanner behind every streaming ingest
+// path. The input is the conventional one-transaction-per-line format:
+// whitespace-separated item tokens (CR and other Unicode whitespace count
+// as separators). Blank lines and lines starting with '#' are skipped.
+// Tokens are interned into the vocabulary in order of first appearance;
+// malformed lines are skipped whole, before any of their tokens are
+// interned, so a corrupted line never shifts the ids of the clean records
+// around it.
+type TransactionReader struct {
+	sc    *bufio.Scanner
+	vocab *Vocabulary
+	line  int
+	fatal error
+}
+
+// NewTransactionReader returns a reader over r interning tokens into vocab
+// (a nil vocab allocates a fresh one, retrievable via Vocabulary).
+func NewTransactionReader(r io.Reader, vocab *Vocabulary) *TransactionReader {
+	if vocab == nil {
+		vocab = NewVocabulary()
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	return &TransactionReader{sc: sc, vocab: vocab}
+}
+
+// Vocabulary returns the vocabulary tokens are interned into.
+func (tr *TransactionReader) Vocabulary() *Vocabulary { return tr.vocab }
+
+// Line returns the 1-based number of the last line consumed.
+func (tr *TransactionReader) Line() int { return tr.line }
+
+// Next returns the next transaction. io.EOF ends a fully-consumed stream. A
+// *ParseError reports one malformed line — the reader has already skipped it
+// and the next call continues with the following line. Any other error
+// (such as an oversized line overflowing the scan buffer, after which the
+// reader cannot resynchronize) is fatal and repeats on subsequent calls.
+func (tr *TransactionReader) Next() (itemset.Itemset, error) {
+	if tr.fatal != nil {
+		return itemset.Itemset{}, tr.fatal
+	}
+	for tr.sc.Scan() {
+		tr.line++
+		text := strings.TrimSpace(tr.sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		fields := strings.Fields(text)
+		// Validate every token before interning any: rejecting the line
+		// must leave the vocabulary exactly as if the line never existed.
+		for _, f := range fields {
+			if err := validateToken(f); err != nil {
+				return itemset.Itemset{}, &ParseError{Line: tr.line, Token: clipToken(f), Err: err}
+			}
+		}
 		items := make([]itemset.Item, 0, len(fields))
 		for _, f := range fields {
-			items = append(items, vocab.ID(f))
+			items = append(items, tr.vocab.ID(f))
 		}
-		out = append(out, itemset.New(items...))
+		return itemset.New(items...), nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("data: reading transactions at line %d: %w", line, err)
+	if err := tr.sc.Err(); err != nil {
+		tr.fatal = fmt.Errorf("data: reading transactions at line %d: %w", tr.line+1, err)
+	} else {
+		tr.fatal = io.EOF
 	}
-	return out, vocab, nil
+	return itemset.Itemset{}, tr.fatal
+}
+
+// ReadTransactions parses a transaction stream, buffering every record. It
+// fails fast on the first malformed line with a *ParseError carrying the
+// 1-based line number and offending token; callers that want to skip and
+// count malformed lines instead should use TransactionReader or
+// ReadTransactionsFunc with an onBad handler.
+func ReadTransactions(r io.Reader) ([]itemset.Itemset, *Vocabulary, error) {
+	var out []itemset.Itemset
+	tr := NewTransactionReader(r, nil)
+	err := ReadTransactionsFunc(tr, func(tx itemset.Itemset) error {
+		out = append(out, tx)
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, tr.Vocabulary(), nil
+}
+
+// ReadTransactionsFunc streams every transaction of tr to fn without
+// buffering the input. Malformed lines are passed to onBad, which may
+// return nil to skip the line and continue or an error to abort; a nil
+// onBad fails fast on the first malformed line. The first error from fn
+// aborts the stream and is returned verbatim.
+func ReadTransactionsFunc(tr *TransactionReader, fn func(itemset.Itemset) error, onBad func(*ParseError) error) error {
+	for {
+		tx, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			if onBad == nil {
+				return err
+			}
+			if err := onBad(pe); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
 }
 
 // WriteTransactions writes transactions in the same format ReadTransactions

@@ -2,7 +2,11 @@ package data
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/itemset"
@@ -88,6 +92,122 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if txs[i].Len() != txs2[i].Len() {
 			t.Errorf("transaction %d changed size", i)
 		}
+	}
+}
+
+func TestReadTransactionsFailsFastWithLineAndToken(t *testing.T) {
+	in := "a b\nc\nbad\x00token x\nd e\n"
+	_, _, err := ReadTransactions(strings.NewReader(in))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Token, "bad") {
+		t.Errorf("token = %q, want the offending token", pe.Token)
+	}
+	if !errors.Is(err, ErrTokenNUL) {
+		t.Errorf("reason = %v, want ErrTokenNUL", pe.Err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("message %q lacks the line number", err.Error())
+	}
+}
+
+func TestReadTransactionsOverlongToken(t *testing.T) {
+	in := "ok\n" + strings.Repeat("x", MaxTokenLen+1) + " y\n"
+	_, _, err := ReadTransactions(strings.NewReader(in))
+	if !errors.Is(err, ErrTokenTooLong) {
+		t.Fatalf("err = %v, want ErrTokenTooLong", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Errorf("bad line attribution: %v", err)
+	}
+	if len(pe.Token) > 64 {
+		t.Errorf("token not clipped for display: %d bytes", len(pe.Token))
+	}
+}
+
+func TestReadTransactionsCROnlyEndings(t *testing.T) {
+	// A bare CR is Unicode whitespace: it separates tokens but does not end
+	// a line, so "a b\rc d" is ONE transaction of four items.
+	txs, vocab, err := ReadTransactions(strings.NewReader("a b\rc d\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 || txs[0].Len() != 4 || vocab.Len() != 4 {
+		t.Fatalf("txs=%v vocab=%d, want one 4-item transaction", txs, vocab.Len())
+	}
+}
+
+// TestTransactionReaderSkipsBadLines: a malformed line is recoverable — the
+// reader skips it whole (interning none of its tokens, so clean records
+// keep their ids) and continues with the next line.
+func TestTransactionReaderSkipsBadLines(t *testing.T) {
+	in := "a b\nzap\x00 c\nb d\n"
+	tr := NewTransactionReader(strings.NewReader(in), nil)
+
+	first, err := tr.Next()
+	if err != nil || first.Len() != 2 {
+		t.Fatalf("first = %v, %v", first, err)
+	}
+	var pe *ParseError
+	if _, err := tr.Next(); !errors.As(err, &pe) || pe.Line != 2 {
+		t.Fatalf("second call: err = %v, want ParseError at line 2", err)
+	}
+	third, err := tr.Next()
+	if err != nil || third.Len() != 2 {
+		t.Fatalf("third = %v, %v", third, err)
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+	// "c" from the bad line must not have been interned: a,b,d only.
+	if tr.Vocabulary().Len() != 3 {
+		t.Errorf("vocabulary has %d tokens, want 3 (bad line must not intern)", tr.Vocabulary().Len())
+	}
+}
+
+func TestReadTransactionsFuncSkipAndCount(t *testing.T) {
+	in := "a b\nx\x00 y\nc\n" + strings.Repeat("z", MaxTokenLen+1) + "\nd e f\n"
+	tr := NewTransactionReader(strings.NewReader(in), nil)
+	var good, bad int
+	var lines []int
+	err := ReadTransactionsFunc(tr,
+		func(itemset.Itemset) error { good++; return nil },
+		func(pe *ParseError) error { bad++; lines = append(lines, pe.Line); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good != 3 || bad != 2 {
+		t.Fatalf("good=%d bad=%d, want 3/2", good, bad)
+	}
+	if len(lines) != 2 || lines[0] != 2 || lines[1] != 4 {
+		t.Errorf("bad lines = %v, want [2 4]", lines)
+	}
+}
+
+func TestVocabularyConcurrentUse(t *testing.T) {
+	v := NewVocabulary()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := v.ID(fmt.Sprintf("tok-%d", i%50))
+				_ = v.Token(id)
+				_ = v.Render(itemset.New(id))
+				_ = v.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Len() != 50 {
+		t.Fatalf("vocabulary has %d tokens, want 50", v.Len())
 	}
 }
 

@@ -1,0 +1,159 @@
+// Package faultinject provides deterministic fault-injection wrappers for
+// exercising the supervised publication pipeline: record sources and sinks
+// that fail on a schedule (transiently or permanently), panic on a chosen
+// call, or stall to trip the watchdog.
+//
+// The wrappers fail BEFORE delegating to the wrapped source or sink, so a
+// failed call consumes nothing: when the supervisor retries it, the
+// underlying stream continues exactly where it left off. That property is
+// what lets the recovery test suite demand byte-identical output from a
+// fault-injected run and a fault-free run.
+//
+// Everything here is deterministic — fault schedules are keyed by call
+// number, never by time or randomness — so recovery tests are exactly
+// reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/itemset"
+)
+
+// Source is the record-source shape the wrappers decorate. It is
+// structurally identical to pipeline.RecordSource, so wrapped sources plug
+// straight into Pipeline.RunContext without this package importing the
+// pipeline.
+type Source interface {
+	Next() (itemset.Itemset, error)
+}
+
+// Plan is a deterministic fault schedule, keyed by 1-based call number.
+// The zero Plan injects nothing.
+type Plan struct {
+	// FailEvery makes every Nth call fail (0: never).
+	FailEvery int
+	// MaxFailures stops injecting failures after this many (0: unlimited).
+	MaxFailures int
+	// Permanent makes injected failures permanent (fatal to the run)
+	// instead of transient (retryable).
+	Permanent bool
+	// PanicOn makes exactly this call panic (0: never).
+	PanicOn int
+	// StallOn makes exactly this call sleep for Stall before proceeding
+	// (0: never) — watchdog bait.
+	StallOn int
+	// Stall is the stall duration for StallOn.
+	Stall time.Duration
+}
+
+// FaultError is one injected failure. It is transient unless the plan says
+// Permanent — the `Transient() bool` method is what pipeline.IsTransient
+// looks for.
+type FaultError struct {
+	// Op names the wrapped operation ("source", "sink").
+	Op string
+	// Call is the 1-based call number that failed.
+	Call int
+	// Permanent mirrors the plan.
+	Permanent bool
+}
+
+func (e *FaultError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("faultinject: %s %s fault on call %d", kind, e.Op, e.Call)
+}
+
+// Transient implements the marker interface pipeline.IsTransient detects.
+func (e *FaultError) Transient() bool { return !e.Permanent }
+
+// schedule tracks plan progress. Wrappers are used from a single pipeline
+// stage goroutine, like the sources and sinks they decorate; counters are
+// plain ints read by tests only after the run returns.
+type schedule struct {
+	plan     Plan
+	op       string
+	calls    int
+	failures int
+	panics   int
+	stalls   int
+}
+
+// inject advances the schedule by one call and returns the injected fault,
+// or nil when this call passes through. Panics and stalls fire here too.
+func (s *schedule) inject() error {
+	s.calls++
+	if s.plan.StallOn == s.calls {
+		s.stalls++
+		time.Sleep(s.plan.Stall)
+	}
+	if s.plan.PanicOn == s.calls {
+		s.panics++
+		panic(fmt.Sprintf("faultinject: injected %s panic on call %d", s.op, s.calls))
+	}
+	if s.plan.FailEvery > 0 && s.calls%s.plan.FailEvery == 0 &&
+		(s.plan.MaxFailures == 0 || s.failures < s.plan.MaxFailures) {
+		s.failures++
+		return &FaultError{Op: s.op, Call: s.calls, Permanent: s.plan.Permanent}
+	}
+	return nil
+}
+
+// FlakySource wraps a Source with a fault plan.
+type FlakySource struct {
+	src Source
+	sch schedule
+}
+
+// NewSource wraps src so that its Next calls fail, panic, or stall on the
+// plan's schedule. Faulted calls never touch src, so retries resume the
+// stream without loss.
+func NewSource(src Source, plan Plan) *FlakySource {
+	return &FlakySource{src: src, sch: schedule{plan: plan, op: "source"}}
+}
+
+// Next implements Source (and pipeline.RecordSource).
+func (f *FlakySource) Next() (itemset.Itemset, error) {
+	if err := f.sch.inject(); err != nil {
+		return itemset.Itemset{}, err
+	}
+	return f.src.Next()
+}
+
+// Calls reports how many Next calls were made (including faulted ones).
+func (f *FlakySource) Calls() int { return f.sch.calls }
+
+// Failures reports how many calls were failed by injection.
+func (f *FlakySource) Failures() int { return f.sch.failures }
+
+// FlakySink decorates a sink callback (such as the pipeline's emit
+// function) with a fault plan; build one with NewSink.
+type FlakySink[T any] struct {
+	sink func(T) error
+	sch  schedule
+}
+
+// NewSink wraps sink so that calls fail, panic, or stall on the plan's
+// schedule. Faulted calls never invoke the wrapped sink, so an idempotent
+// re-delivery after a retry reaches it exactly once.
+func NewSink[T any](sink func(T) error, plan Plan) *FlakySink[T] {
+	return &FlakySink[T]{sink: sink, sch: schedule{plan: plan, op: "sink"}}
+}
+
+// Emit is the decorated callback; pass it to Pipeline.RunContext.
+func (f *FlakySink[T]) Emit(v T) error {
+	if err := f.sch.inject(); err != nil {
+		return err
+	}
+	return f.sink(v)
+}
+
+// Calls reports how many Emit calls were made (including faulted ones).
+func (f *FlakySink[T]) Calls() int { return f.sch.calls }
+
+// Failures reports how many calls were failed by injection.
+func (f *FlakySink[T]) Failures() int { return f.sch.failures }

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/itemset"
+)
+
+// countSource yields records forever and counts how often it was actually
+// consulted, so tests can prove faulted calls consume nothing.
+type countSource struct{ n int }
+
+func (c *countSource) Next() (itemset.Itemset, error) {
+	c.n++
+	return itemset.New(itemset.Item(c.n)), nil
+}
+
+func TestFailEveryScheduleAndNoConsumptionOnFault(t *testing.T) {
+	inner := &countSource{}
+	src := NewSource(inner, Plan{FailEvery: 2})
+	for call := 1; call <= 6; call++ {
+		_, err := src.Next()
+		if call%2 == 0 {
+			var fe *FaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("call %d: err = %v, want a FaultError", call, err)
+			}
+			if fe.Call != call || fe.Op != "source" || !fe.Transient() {
+				t.Fatalf("call %d: fault = %+v", call, fe)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d: unexpected error %v", call, err)
+		}
+	}
+	if inner.n != 3 {
+		t.Fatalf("inner source consulted %d times, want 3 (faults must not consume)", inner.n)
+	}
+	if src.Calls() != 6 || src.Failures() != 3 {
+		t.Fatalf("calls=%d failures=%d, want 6/3", src.Calls(), src.Failures())
+	}
+}
+
+func TestMaxFailuresStopsInjecting(t *testing.T) {
+	src := NewSource(&countSource{}, Plan{FailEvery: 1, MaxFailures: 2})
+	failed := 0
+	for i := 0; i < 5; i++ {
+		if _, err := src.Next(); err != nil {
+			failed++
+		}
+	}
+	if failed != 2 || src.Failures() != 2 {
+		t.Fatalf("failed %d calls (reported %d), want 2", failed, src.Failures())
+	}
+}
+
+func TestPermanentFaultIsNotTransient(t *testing.T) {
+	src := NewSource(&countSource{}, Plan{FailEvery: 1, Permanent: true})
+	_, err := src.Next()
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Transient() {
+		t.Fatalf("err = %v, want a permanent FaultError", err)
+	}
+}
+
+func TestPanicOnFiresExactlyOnce(t *testing.T) {
+	src := NewSource(&countSource{}, Plan{PanicOn: 2})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("call 2 did not panic")
+			}
+		}()
+		src.Next()
+	}()
+	if _, err := src.Next(); err != nil {
+		t.Fatalf("call 3 after the panic: %v", err)
+	}
+}
+
+func TestStallOnDelaysTheCall(t *testing.T) {
+	src := NewSource(&countSource{}, Plan{StallOn: 1, Stall: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("stalled call returned after %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestSinkWrapperFailsWithoutDelivering(t *testing.T) {
+	var delivered []int
+	sink := NewSink(func(v int) error {
+		delivered = append(delivered, v)
+		return nil
+	}, Plan{FailEvery: 3})
+	for v := 1; v <= 7; v++ {
+		err := sink.Emit(v)
+		if v%3 == 0 && err == nil {
+			t.Fatalf("call %d did not fail", v)
+		}
+		if v%3 != 0 && err != nil {
+			t.Fatalf("call %d: %v", v, err)
+		}
+	}
+	want := []int{1, 2, 4, 5, 7}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", delivered, want)
+		}
+	}
+	if sink.Calls() != 7 || sink.Failures() != 2 {
+		t.Fatalf("calls=%d failures=%d, want 7/2", sink.Calls(), sink.Failures())
+	}
+}
+
+func TestSinkPropagatesInnerError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	sink := NewSink(func(int) error { return sentinel }, Plan{})
+	if err := sink.Emit(1); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sink's own error", err)
+	}
+}
+
+// TestZeroPlanIsTransparent: the zero Plan never interferes.
+func TestZeroPlanIsTransparent(t *testing.T) {
+	inner := &countSource{}
+	src := NewSource(inner, Plan{})
+	for i := 0; i < 100; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.n != 100 || src.Failures() != 0 {
+		t.Fatalf("consulted=%d failures=%d, want 100/0", inner.n, src.Failures())
+	}
+}
+
+// eofSource proves EOF passes through untouched.
+type eofSource struct{}
+
+func (eofSource) Next() (itemset.Itemset, error) { return itemset.Itemset{}, io.EOF }
+
+func TestEOFPassesThrough(t *testing.T) {
+	src := NewSource(eofSource{}, Plan{FailEvery: 2})
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}

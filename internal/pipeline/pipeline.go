@@ -1,31 +1,49 @@
 // Package pipeline runs the end-to-end Butterfly publication loop — sliding
 // window mining, output perturbation, and sanitized-window delivery — as a
-// staged concurrent pipeline.
+// supervised, staged concurrent pipeline over a potentially unbounded
+// record stream.
 //
 // The three stages communicate over bounded channels:
 //
-//	mine ──(mining.Result)──▶ perturb ──(Window)──▶ emit
+//	source ──▶ mine ──(mining.Result)──▶ perturb ──(Window)──▶ emit
 //
-// The miner stage pushes records into the incremental Moment miner and
-// snapshots the frequent itemsets at every publication point; the perturb
-// stage sanitizes each snapshot with the core.Publisher (itself fanning the
-// per-itemset perturbation out to a chunked worker pool); the emit stage
-// hands finished windows to the caller in stream order. While window w is
-// being perturbed or emitted, the miner is already sliding toward window
-// w+1, so the stages overlap instead of alternating.
+// The miner stage pulls records incrementally from a RecordSource, pushes
+// them into the incremental Moment miner, and snapshots the frequent
+// itemsets at every publication point; the perturb stage sanitizes each
+// snapshot with the core.Publisher (itself fanning the per-itemset
+// perturbation out to a chunked worker pool); the emit stage hands finished
+// windows to the caller's callback in stream order. While window w is being
+// perturbed or emitted, the miner is already sliding toward window w+1, so
+// the stages overlap instead of alternating.
 //
-// Determinism contract (see core.Publisher.SetWorkers): Workers <= 1 runs
-// everything inline on the caller's goroutine with the historical sequential
-// draw order — byte-identical to the pre-pipeline implementation. Workers
-// >= 2 runs the staged pipeline with chunked RNG; every worker count >= 2
-// publishes identical output for a fixed seed.
+// Supervision (see supervise.go): every stage runs under a recover guard
+// that converts panics into run errors; context cancellation propagates
+// through all stages with no goroutine leaks; malformed input records are
+// skipped and counted against a configurable budget; transient emit and
+// source failures are retried with exponential backoff, re-delivering the
+// SAME already-perturbed window so retries never consume extra randomness;
+// and an optional per-window watchdog bounds how long any window may take.
+// A fault-injected run that eventually succeeds therefore publishes output
+// byte-identical to a fault-free run.
+//
+// Determinism contract (see core.Publisher.SetWorkers): Workers <= 1 drives
+// the publisher in its historical sequential draw order — published values
+// are byte-identical to the pre-pipeline implementation. Workers >= 2 uses
+// the chunked RNG; every worker count >= 2 publishes identical output for a
+// fixed seed. Stage overlap, retries, and skipped bad records never change
+// published values at any worker count.
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 )
@@ -54,6 +72,23 @@ type Config struct {
 	// Buffer is the depth of the inter-stage channels (default 4). Deeper
 	// buffers let the miner run further ahead of the perturbation stage.
 	Buffer int
+
+	// MaxBadRecords is the bad-record budget: how many malformed input
+	// records (surfaced by the source as *data.ParseError) may be skipped
+	// and quarantined before the run fails. 0 — the default — fails fast on
+	// the first malformed record; < 0 skips without limit.
+	MaxBadRecords int
+	// EmitRetries is the number of retry attempts for a transient emit or
+	// source failure (including recovered callback panics) before the run
+	// fails. 0 — the default — disables retries.
+	EmitRetries int
+	// EmitBackoff is the initial retry backoff, doubling per attempt up to
+	// one second (default 5ms).
+	EmitBackoff time.Duration
+	// WindowTimeout is the per-window watchdog: a window whose perturbation
+	// or emission (including retries and their backoff) takes longer fails
+	// the run. 0 disables the watchdog.
+	WindowTimeout time.Duration
 }
 
 // Window is one published release: the sanitized output of the sliding
@@ -66,8 +101,8 @@ type Window struct {
 }
 
 // Pipeline is a reusable description of a publication run. Each call to Run
-// builds a fresh miner and publisher from the Config, so repeated runs over
-// the same records reproduce the same outputs.
+// or RunContext builds a fresh miner and publisher from the Config, so
+// repeated runs over the same records reproduce the same outputs.
 type Pipeline struct {
 	cfg Config
 }
@@ -79,6 +114,18 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.PublishEvery < 0 {
 		return nil, fmt.Errorf("pipeline: negative publish interval %d", cfg.PublishEvery)
+	}
+	if cfg.MaxBadRecords < -1 {
+		return nil, fmt.Errorf("pipeline: bad-record budget %d (want -1, 0 or a positive budget)", cfg.MaxBadRecords)
+	}
+	if cfg.EmitRetries < 0 {
+		return nil, fmt.Errorf("pipeline: negative emit retries %d", cfg.EmitRetries)
+	}
+	if cfg.EmitBackoff < 0 {
+		return nil, fmt.Errorf("pipeline: negative emit backoff %v", cfg.EmitBackoff)
+	}
+	if cfg.WindowTimeout < 0 {
+		return nil, fmt.Errorf("pipeline: negative window timeout %v", cfg.WindowTimeout)
 	}
 	// Delegate parameter/window validation to the stream constructor so the
 	// two entry points cannot drift apart.
@@ -98,6 +145,30 @@ func (cfg Config) newStream() (*core.Stream, error) {
 	})
 }
 
+// ErrShortStream matches (via errors.Is) the failure of a run whose record
+// stream ended — or was drained by a DrainSource — before the sliding
+// window ever filled, so callers can tell a deliberately-interrupted short
+// run from a genuine stream defect.
+var ErrShortStream = errors.New("pipeline: stream shorter than the window size")
+
+// shortStreamError carries the counts; it reports true for
+// errors.Is(err, ErrShortStream).
+type shortStreamError struct {
+	records, window int
+	ended           bool // true: stream ended mid-fill; false: rejected up front
+}
+
+func (e *shortStreamError) Error() string {
+	if e.ended {
+		return fmt.Sprintf("pipeline: stream ended after %d records, fewer than the window size %d",
+			e.records, e.window)
+	}
+	return fmt.Sprintf("pipeline: stream has %d records, fewer than the window size %d",
+		e.records, e.window)
+}
+
+func (e *shortStreamError) Is(target error) bool { return target == ErrShortStream }
+
 // minedWindow is one mining snapshot in flight between the mine and perturb
 // stages. The *mining.Result is a fully materialized copy of the window's
 // frequent itemsets, safe to perturb while the miner slides onward.
@@ -112,135 +183,230 @@ type minedWindow struct {
 // must be at least WindowSize.
 func (p *Pipeline) Run(records []itemset.Itemset, emit func(Window) error) error {
 	if len(records) < p.cfg.WindowSize {
-		return fmt.Errorf("pipeline: stream has %d records, fewer than the window size %d",
-			len(records), p.cfg.WindowSize)
+		return &shortStreamError{records: len(records), window: p.cfg.WindowSize}
 	}
+	_, err := p.RunContext(context.Background(), SliceSource(records), emit)
+	return err
+}
+
+// RunContext streams records from src through the supervised pipeline and
+// calls emit once per published window, in stream order. It returns when
+// the source is exhausted (after publishing the final window), when ctx is
+// canceled, or on the first unrecovered stage error — whichever comes
+// first. The returned Report is a best-effort summary that is valid even
+// on error, so interrupted runs can print partial results.
+//
+// Cancellation returns promptly: stage goroutines blocked on channels
+// unwind immediately, and goroutines inside user callbacks unwind as soon
+// as the callback returns; none of them are leaked past that.
+func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(Window) error) (*Report, error) {
 	stream, err := p.cfg.newStream()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if p.cfg.Workers <= 1 {
-		return p.runSerial(stream, records, emit)
+	workers := p.cfg.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	return p.runStaged(stream, records, emit)
-}
+	stream.Publisher().SetWorkers(workers)
 
-// runSerial is the reference path: mine, perturb, and emit inline, exactly
-// as the pre-pipeline implementation did. Its behaviour (including the RNG
-// draw order) is frozen; the staged path is tested against it.
-func (p *Pipeline) runSerial(stream *core.Stream, records []itemset.Itemset, emit func(Window) error) error {
-	sinceFull := 0
-	for i, rec := range records {
-		stream.Push(rec)
-		if !stream.Ready() {
-			continue
-		}
-		sinceFull++
-		if !p.publishDue(sinceFull, i == len(records)-1) {
-			continue
-		}
-		var out *core.Output
-		if p.cfg.Raw {
-			out = core.NewRawOutput(stream.Mine(), p.cfg.WindowSize)
-		} else {
-			var err error
-			out, err = stream.Publish()
-			if err != nil {
-				return err
-			}
-		}
-		if err := emit(Window{Position: i + 1, Output: out}); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// publishDue reports whether a release is owed at the current slide.
-func (p *Pipeline) publishDue(sinceFull int, atEnd bool) bool {
-	due := p.cfg.PublishEvery > 0 && (sinceFull-1)%p.cfg.PublishEvery == 0
-	return due || atEnd
-}
-
-// runStaged is the concurrent path: a miner goroutine and a perturbation
-// goroutine connected by bounded channels, with emit running on the caller's
-// goroutine. Channel order preserves stream order end to end.
-func (p *Pipeline) runStaged(stream *core.Stream, records []itemset.Itemset, emit func(Window) error) error {
-	stream.Publisher().SetWorkers(p.cfg.Workers)
+	run := newRunState(ctx, p.cfg)
+	defer run.cancel()
 	buffer := p.cfg.Buffer
 	if buffer == 0 {
 		buffer = 4
 	}
 	mined := make(chan minedWindow, buffer)
 	outs := make(chan Window, buffer)
-	errc := make(chan error, 2)
-	done := make(chan struct{})
-	var cancelOnce sync.Once
-	cancel := func() { cancelOnce.Do(func() { close(done) }) }
 
-	// Stage 1: slide the window and snapshot at publication points.
-	go func() {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // Stage 1: ingest records, slide, snapshot at publication points.
+		defer wg.Done()
 		defer close(mined)
-		sinceFull := 0
-		for i, rec := range records {
-			stream.Push(rec)
-			if !stream.Ready() {
-				continue
-			}
-			sinceFull++
-			if !p.publishDue(sinceFull, i == len(records)-1) {
-				continue
-			}
-			snap := stream.Mine()
-			select {
-			case mined <- minedWindow{position: i + 1, res: snap}:
-			case <-done:
-				return
-			}
-		}
+		defer run.recoverStage("mine")
+		run.mineLoop(stream, src, mined)
 	}()
-
-	// Stage 2: perturb each snapshot in arrival (= stream) order.
-	go func() {
+	go func() { // Stage 2: perturb each snapshot in arrival (= stream) order.
+		defer wg.Done()
 		defer close(outs)
-		for m := range mined {
-			var out *core.Output
-			if p.cfg.Raw {
-				out = core.NewRawOutput(m.res, p.cfg.WindowSize)
-			} else {
-				var err error
-				out, err = stream.Publisher().Publish(m.res, p.cfg.WindowSize)
-				if err != nil {
-					errc <- err
-					cancel()
-					return
-				}
-			}
-			select {
-			case outs <- Window{Position: m.position, Output: out}:
-			case <-done:
-				return
-			}
-		}
+		defer run.recoverStage("perturb")
+		run.perturbLoop(stream, p.cfg, mined, outs)
+	}()
+	go func() { // Stage 3: deliver windows in order, with retries.
+		defer wg.Done()
+		defer run.recoverStage("emit")
+		run.emitLoop(outs, emit)
 	}()
 
-	// Stage 3 (caller's goroutine): deliver windows in order.
-	var emitErr error
-	for w := range outs {
-		if emitErr == nil {
-			emitErr = emit(w)
-			if emitErr != nil {
-				cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-run.ctx.Done():
+		// Canceled (externally or by the watchdog): return within the
+		// cancellation latency of a channel select. Stages unwind on their
+		// own; a stage stuck inside a user callback finishes unwinding when
+		// that callback returns, and the Report snapshot below is safe to
+		// take concurrently.
+	}
+	return run.snapshot(), run.firstErr()
+}
+
+// mineLoop is stage 1: pull records from the source (absorbing bad records
+// and transient faults), slide the window, and snapshot at every
+// publication point. The final window of a finite stream is published even
+// when the stream ends between publication points, matching the historical
+// at-end release of the materialized path.
+func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- minedWindow) {
+	sinceFull := 0
+	pos := 0     // stream position of the last well-formed record
+	lastPub := 0 // position of the last snapshot handed to perturb
+	for {
+		if r.ctx.Err() != nil {
+			return
+		}
+		rec, err := r.nextRecord(src)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		stream.Push(rec)
+		pos++
+		r.addRecord()
+		if !stream.Ready() {
+			continue
+		}
+		sinceFull++
+		if !(r.cfg.PublishEvery > 0 && (sinceFull-1)%r.cfg.PublishEvery == 0) {
+			continue
+		}
+		if !sendOrDone(r, mined, minedWindow{position: pos, res: stream.Mine()}) {
+			return
+		}
+		lastPub = pos
+	}
+	if r.ctx.Err() != nil {
+		return
+	}
+	if !stream.Ready() {
+		r.fail(&shortStreamError{records: pos, window: r.cfg.WindowSize, ended: true})
+		return
+	}
+	if lastPub != pos {
+		sendOrDone(r, mined, minedWindow{position: pos, res: stream.Mine()})
+	}
+}
+
+// nextRecord pulls one record from the source under supervision: recovered
+// source panics and transient errors are retried with backoff (sharing the
+// EmitRetries budget, counted per record), malformed records are skipped
+// against the bad-record budget, and anything else is fatal.
+func (r *runState) nextRecord(src RecordSource) (itemset.Itemset, error) {
+	var rec itemset.Itemset
+	attempts := 0
+	for {
+		err := safeCall(func() error {
+			var e error
+			rec, e = src.Next()
+			return e
+		})
+		switch {
+		case err == nil:
+			return rec, nil
+		case errors.Is(err, io.EOF):
+			return itemset.Itemset{}, io.EOF
+		}
+		var pe *data.ParseError
+		if errors.As(err, &pe) {
+			if !r.recordBad(BadRecord{Line: pe.Line, Token: pe.Token, Err: pe.Err}) {
+				return itemset.Itemset{}, fmt.Errorf(
+					"pipeline: bad-record budget of %d exhausted (%d malformed records; last: %w)",
+					r.cfg.MaxBadRecords, r.badCount(), pe)
+			}
+			continue
+		}
+		var panicked *panicError
+		if errors.As(err, &panicked) {
+			r.addPanic()
+		}
+		if !IsTransient(err) {
+			return itemset.Itemset{}, fmt.Errorf("pipeline: record source: %w", err)
+		}
+		if attempts >= r.cfg.EmitRetries {
+			return itemset.Itemset{}, fmt.Errorf(
+				"pipeline: record source failed after %d retries: %w", attempts, err)
+		}
+		attempts++
+		r.addRetry()
+		backoff := r.cfg.EmitBackoff
+		if backoff <= 0 {
+			backoff = defaultBackoff
+		}
+		for i := 1; i < attempts; i++ {
+			if backoff *= 2; backoff >= maxBackoff {
+				backoff = maxBackoff
+				break
 			}
 		}
+		select {
+		case <-time.After(backoff):
+		case <-r.ctx.Done():
+			return itemset.Itemset{}, r.ctx.Err()
+		}
 	}
-	if emitErr != nil {
-		return emitErr
+}
+
+// perturbLoop is stage 2: sanitize each snapshot. Publish is retry-safe on
+// error (core rolls its state back), but perturbation failures here are
+// internal — not sink flakiness — so they fail the run; the watchdog bounds
+// each window's perturbation time.
+func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan minedWindow, outs chan<- Window) {
+	for m := range mined {
+		if r.ctx.Err() != nil {
+			return
+		}
+		var out *core.Output
+		err := r.watchdog("perturbation", m.position, func() error {
+			if cfg.Raw {
+				out = core.NewRawOutput(m.res, cfg.WindowSize)
+				return nil
+			}
+			var e error
+			out, e = stream.Publisher().Publish(m.res, cfg.WindowSize)
+			return e
+		})
+		if err != nil {
+			r.fail(fmt.Errorf("pipeline: perturbing window at position %d: %w", m.position, err))
+			return
+		}
+		if !sendOrDone(r, outs, Window{Position: m.position, Output: out}) {
+			return
+		}
 	}
-	select {
-	case err := <-errc:
-		return err
-	default:
-		return nil
+}
+
+// emitLoop is stage 3: deliver windows in order. Each delivery is wrapped
+// in the retry/backoff policy — the SAME perturbed window is re-emitted on
+// transient failure, preserving determinism — and the watchdog bounds the
+// whole per-window delivery including backoff.
+func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
+	for w := range outs {
+		if r.ctx.Err() != nil {
+			continue // drain so the perturb stage never blocks on us
+		}
+		w := w
+		err := r.watchdog("emission", w.Position, func() error {
+			return r.withRetries(fmt.Sprintf("emitting window at position %d", w.Position),
+				func() error { return emit(w) })
+		})
+		if err != nil {
+			r.fail(err)
+			continue
+		}
+		r.addPublished()
 	}
 }

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/itemset"
+)
+
+// RecordSource delivers stream records one at a time — the ingest side of a
+// supervised run. Unlike a materialized []itemset.Itemset, a RecordSource
+// can be unbounded, arrive slowly, and fail.
+//
+// Next returns the next record. io.EOF ends the stream cleanly (the
+// pipeline publishes the final window and returns). A *data.ParseError
+// reports one malformed record that the source has already skipped past;
+// the pipeline counts it against the bad-record budget (Config
+// .MaxBadRecords) and continues. An error marked transient (see Transient /
+// IsTransient) is retried with exponential backoff up to Config.EmitRetries
+// attempts, on the assumption that the failed call consumed no record. Any
+// other error aborts the run.
+type RecordSource interface {
+	Next() (itemset.Itemset, error)
+}
+
+// sliceSource adapts an in-memory record slice.
+type sliceSource struct {
+	records []itemset.Itemset
+	next    int
+}
+
+// SliceSource returns a RecordSource over a fully-materialized record
+// slice, the adapter behind the legacy Run entry point.
+func SliceSource(records []itemset.Itemset) RecordSource {
+	return &sliceSource{records: records}
+}
+
+func (s *sliceSource) Next() (itemset.Itemset, error) {
+	if s.next >= len(s.records) {
+		return itemset.Itemset{}, io.EOF
+	}
+	rec := s.records[s.next]
+	s.next++
+	return rec, nil
+}
+
+// generatorSource adapts a synthetic generator, bounded to n records.
+type generatorSource struct {
+	gen  *data.Generator
+	left int
+}
+
+// GeneratorSource returns a RecordSource delivering the next n records of a
+// synthetic generator one at a time, without materializing the stream.
+func GeneratorSource(g *data.Generator, n int) RecordSource {
+	return &generatorSource{gen: g, left: n}
+}
+
+func (s *generatorSource) Next() (itemset.Itemset, error) {
+	if s.left <= 0 {
+		return itemset.Itemset{}, io.EOF
+	}
+	s.left--
+	return s.gen.Next(), nil
+}
+
+// ReaderSource streams transactions from r incrementally in the
+// one-transaction-per-line format, interning tokens into vocab (nil
+// allocates a fresh vocabulary) — no buffering of the whole input.
+// Malformed lines surface as *data.ParseError, which the pipeline treats as
+// skippable bad records under its budget.
+func ReaderSource(r io.Reader, vocab *data.Vocabulary) RecordSource {
+	return data.NewTransactionReader(r, vocab)
+}
+
+// DrainSource wraps a RecordSource with a stop switch for graceful
+// shutdown: after Stop, Next reports io.EOF, so the pipeline finishes the
+// windows already in flight, publishes the final window of the truncated
+// stream, and returns cleanly — the SIGINT drain path of cmd/butterfly.
+// Stop is safe to call from any goroutine, any number of times.
+type DrainSource struct {
+	src     RecordSource
+	stopped atomic.Bool
+}
+
+// NewDrainSource wraps src.
+func NewDrainSource(src RecordSource) *DrainSource {
+	return &DrainSource{src: src}
+}
+
+// Stop makes all subsequent Next calls report end-of-stream.
+func (d *DrainSource) Stop() { d.stopped.Store(true) }
+
+// Stopped reports whether the source was stopped before its natural end.
+func (d *DrainSource) Stopped() bool { return d.stopped.Load() }
+
+// Next implements RecordSource.
+func (d *DrainSource) Next() (itemset.Itemset, error) {
+	if d.stopped.Load() {
+		return itemset.Itemset{}, io.EOF
+	}
+	return d.src.Next()
+}
+
+// BadRecord is one malformed input record skipped under the bad-record
+// budget, quarantined in the run Report for the operator.
+type BadRecord struct {
+	// Line is the 1-based input line number, when the source knows it.
+	Line int
+	// Token is the offending token, clipped for display.
+	Token string
+	// Err is the parse failure.
+	Err error
+}
+
+func (b BadRecord) String() string {
+	return fmt.Sprintf("line %d: token %q: %v", b.Line, b.Token, b.Err)
+}
