@@ -35,11 +35,74 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/pipeline"
 )
+
+// flagValues collects the numeric/durability flags for up-front validation.
+type flagValues struct {
+	n, window, support, vuln        int
+	publishEvery, top, workers      int
+	maxBadRecords, emitRetries      int
+	windowTimeout                   time.Duration
+	checkpointDir                   string
+	checkpointEvery, checkpointKeep int
+	resume                          bool
+	input                           string
+}
+
+// validateFlags rejects flag values that would otherwise surface as
+// undefined behavior deep inside the run — a clear usage error at startup
+// instead.
+func validateFlags(v flagValues) error {
+	if v.n <= 0 {
+		return fmt.Errorf("-n %d must be >= 1", v.n)
+	}
+	if v.window <= 0 {
+		return fmt.Errorf("-window %d must be >= 1", v.window)
+	}
+	if v.support <= 0 {
+		return fmt.Errorf("-support %d must be >= 1", v.support)
+	}
+	if v.vuln <= 0 {
+		return fmt.Errorf("-vuln %d must be >= 1", v.vuln)
+	}
+	if v.publishEvery < 0 {
+		return fmt.Errorf("-publish-every %d must be >= 0 (0: publish once, at the end)", v.publishEvery)
+	}
+	if v.top < 0 {
+		return fmt.Errorf("-top %d must be >= 0 (0: print all)", v.top)
+	}
+	if v.workers < 1 {
+		return fmt.Errorf("-workers %d must be >= 1", v.workers)
+	}
+	if v.maxBadRecords < -1 {
+		return fmt.Errorf("-max-bad-records %d must be -1 (unlimited), 0 (fail fast) or a positive budget", v.maxBadRecords)
+	}
+	if v.emitRetries < 0 {
+		return fmt.Errorf("-emit-retries %d must be >= 0", v.emitRetries)
+	}
+	if v.windowTimeout < 0 {
+		return fmt.Errorf("-window-timeout %v must be >= 0 (0: disabled)", v.windowTimeout)
+	}
+	if v.checkpointDir != "" && v.checkpointEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every %d must be >= 1", v.checkpointEvery)
+	}
+	if v.checkpointDir != "" && v.checkpointKeep < 1 {
+		return fmt.Errorf("-checkpoint-keep %d must be >= 1", v.checkpointKeep)
+	}
+	if v.resume && v.checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if v.resume && v.input == "-" {
+		return fmt.Errorf("-resume cannot replay stdin; use a file -input or a -gen stream")
+	}
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -51,33 +114,44 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("butterfly", flag.ContinueOnError)
 	var (
-		input         = fs.String("input", "", "transaction file (one transaction per line); '-' for stdin")
-		gen           = fs.String("gen", "", "synthetic stream instead of -input: webview or pos")
-		n             = fs.Int("n", 10000, "records to stream with -gen")
-		window        = fs.Int("window", 2000, "sliding window size H")
-		support       = fs.Int("support", 25, "minimum support C")
-		vuln          = fs.Int("vuln", 5, "vulnerable support K")
-		epsilon       = fs.Float64("epsilon", 0.016, "precision bound ε (max relative squared error)")
-		delta         = fs.Float64("delta", 0.4, "privacy floor δ (min relative inference error)")
-		scheme        = fs.String("scheme", "hybrid", "bias scheme: basic, order, ratio or hybrid")
-		lambda        = fs.Float64("lambda", 0.4, "hybrid weight λ (order vs ratio)")
-		gamma         = fs.Int("gamma", 2, "order-preserving DP lookback γ")
-		publishEvery  = fs.Int("publish-every", 0, "publish every N slides after the window fills (0: once at end)")
-		top           = fs.Int("top", 10, "itemsets printed per published window (0 = all)")
-		closed        = fs.Bool("closed", false, "publish only closed frequent itemsets")
-		seed          = fs.Uint64("seed", 1, "random seed")
-		dumpDir       = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
-		raw           = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
-		workers       = fs.Int("workers", runtime.NumCPU(), "pipeline parallelism (1: serial reference path)")
-		maxBadRecords = fs.Int("max-bad-records", 0, "malformed input records to skip before failing (0: fail fast, -1: unlimited)")
-		emitRetries   = fs.Int("emit-retries", 3, "retries for transient publish failures before the run fails")
-		windowTimeout = fs.Duration("window-timeout", 0, "per-window watchdog: fail the run if one window takes longer (0: disabled)")
+		input          = fs.String("input", "", "transaction file (one transaction per line); '-' for stdin")
+		gen            = fs.String("gen", "", "synthetic stream instead of -input: webview or pos")
+		n              = fs.Int("n", 10000, "records to stream with -gen")
+		window         = fs.Int("window", 2000, "sliding window size H")
+		support        = fs.Int("support", 25, "minimum support C")
+		vuln           = fs.Int("vuln", 5, "vulnerable support K")
+		epsilon        = fs.Float64("epsilon", 0.016, "precision bound ε (max relative squared error)")
+		delta          = fs.Float64("delta", 0.4, "privacy floor δ (min relative inference error)")
+		scheme         = fs.String("scheme", "hybrid", "bias scheme: basic, order, ratio or hybrid")
+		lambda         = fs.Float64("lambda", 0.4, "hybrid weight λ (order vs ratio)")
+		gamma          = fs.Int("gamma", 2, "order-preserving DP lookback γ")
+		publishEvery   = fs.Int("publish-every", 0, "publish every N slides after the window fills (0: once at end)")
+		top            = fs.Int("top", 10, "itemsets printed per published window (0 = all)")
+		closed         = fs.Bool("closed", false, "publish only closed frequent itemsets")
+		seed           = fs.Uint64("seed", 1, "random seed")
+		dumpDir        = fs.String("dump-dir", "", "also write each published window to DIR/window-N.txt (audit format)")
+		raw            = fs.Bool("raw", false, "UNPROTECTED: publish true supports (for audits and comparisons)")
+		workers        = fs.Int("workers", runtime.NumCPU(), "pipeline parallelism (1: serial reference path)")
+		maxBadRecords  = fs.Int("max-bad-records", 0, "malformed input records to skip before failing (0: fail fast, -1: unlimited)")
+		emitRetries    = fs.Int("emit-retries", 3, "retries for transient publish failures before the run fails")
+		windowTimeout  = fs.Duration("window-timeout", 0, "per-window watchdog: fail the run if one window takes longer (0: disabled)")
+		checkpointDir  = fs.String("checkpoint-dir", "", "write crash-safe state snapshots to DIR (see -checkpoint-every, -resume)")
+		checkpointEvry = fs.Int("checkpoint-every", 16, "published windows between checkpoints (with -checkpoint-dir)")
+		checkpointKeep = fs.Int("checkpoint-keep", 3, "checkpoint generations to retain (with -checkpoint-dir)")
+		resume         = fs.Bool("resume", false, "resume from the newest usable checkpoint in -checkpoint-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 1 {
-		return fmt.Errorf("-workers %d must be >= 1", *workers)
+	if err := validateFlags(flagValues{
+		n: *n, window: *window, support: *support, vuln: *vuln,
+		publishEvery: *publishEvery, top: *top, workers: *workers,
+		maxBadRecords: *maxBadRecords, emitRetries: *emitRetries,
+		windowTimeout: *windowTimeout, checkpointDir: *checkpointDir,
+		checkpointEvery: *checkpointEvry, checkpointKeep: *checkpointKeep,
+		resume: *resume, input: *input,
+	}); err != nil {
+		return err
 	}
 
 	src, vocab, closeSrc, err := buildSource(*input, *gen, *n, *seed, stdin)
@@ -92,6 +166,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Durability: open the checkpoint store up front so a bad directory
+	// fails before any streaming starts, and load the resume snapshot —
+	// falling back a generation past corrupt files, with a warning.
+	var store *checkpoint.Store
+	var resumeSnap *checkpoint.Snapshot
+	if *checkpointDir != "" {
+		store, err = checkpoint.NewStore(*checkpointDir, *checkpointKeep)
+		if err != nil {
+			return err
+		}
+		store.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "butterfly: "+format+"\n", args...)
+		}
+	}
+	if *resume {
+		snap, path, err := store.Latest()
+		if err != nil {
+			return err
+		}
+		if snap == nil {
+			fmt.Fprintf(os.Stderr, "butterfly: -resume: no usable checkpoint in %s; starting from the beginning\n",
+				*checkpointDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "butterfly: resuming from %s (record %d, %d windows published)\n",
+				path, snap.Records, snap.Published)
+			resumeSnap = snap
+		}
+	}
+
+	ckptEvery := 0
+	if store != nil {
+		ckptEvery = *checkpointEvry
+	}
 	pipe, err := pipeline.New(pipeline.Config{
 		WindowSize: *window,
 		Params: core.Params{
@@ -100,15 +208,19 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MinSupport:  *support,
 			VulnSupport: *vuln,
 		},
-		Scheme:        sch,
-		Seed:          *seed,
-		ClosedOnly:    *closed,
-		Raw:           *raw,
-		PublishEvery:  *publishEvery,
-		Workers:       *workers,
-		MaxBadRecords: *maxBadRecords,
-		EmitRetries:   *emitRetries,
-		WindowTimeout: *windowTimeout,
+		Scheme:          sch,
+		Seed:            *seed,
+		ClosedOnly:      *closed,
+		Raw:             *raw,
+		PublishEvery:    *publishEvery,
+		Workers:         *workers,
+		MaxBadRecords:   *maxBadRecords,
+		EmitRetries:     *emitRetries,
+		WindowTimeout:   *windowTimeout,
+		CheckpointEvery: ckptEvery,
+		CheckpointKeep:  *checkpointKeep,
+		Checkpoints:     store,
+		Resume:          resumeSnap,
 	})
 	if err != nil {
 		return err
@@ -180,6 +292,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if rep.Retries > 0 {
 		fmt.Fprintf(stdout, "# %d transient failure(s) absorbed by retries\n", rep.Retries)
+	}
+	if rep.Checkpoints > 0 {
+		fmt.Fprintf(stdout, "# %d checkpoint(s) written\n", rep.Checkpoints)
 	}
 	return nil
 }

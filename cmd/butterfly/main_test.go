@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/data"
+	"repro/internal/itemset"
 )
 
 func TestRunStdinPipeline(t *testing.T) {
@@ -175,5 +178,146 @@ func TestBuildScheme(t *testing.T) {
 	}
 	if _, err := buildScheme("bogus", 0.4, 2); err == nil {
 		t.Error("bogus scheme accepted")
+	}
+}
+
+// runArgs executes the CLI and returns its stdout, failing the test on
+// error.
+func runArgs(t *testing.T, args []string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, nil, &out); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// windowBlocks slices a CLI transcript into its published-window sections,
+// the units compared byte-for-byte across runs.
+func windowBlocks(t *testing.T, transcript string) []string {
+	t.Helper()
+	parts := strings.Split(transcript, "== window Ds(")
+	var blocks []string
+	for _, p := range parts[1:] {
+		if i := strings.Index(p, "\n#"); i >= 0 {
+			p = p[:i]
+		}
+		blocks = append(blocks, strings.TrimRight(p, "\n"))
+	}
+	return blocks
+}
+
+// writeTransactionFile renders records to a temp transaction file.
+func writeTransactionFile(t *testing.T, dir, name string, records []itemset.Itemset) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.WriteTransactions(f, records, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCheckpointResumeWalkthrough is the CLI half of the kill-and-resume
+// guarantee, mirroring the README walkthrough: a checkpointed run over a
+// truncated stream (standing in for a killed service), then -resume over the
+// full stream, publishes exactly the windows an uninterrupted run publishes
+// past the cut — byte-identical.
+func TestRunCheckpointResumeWalkthrough(t *testing.T) {
+	records := data.WebViewLike(5).Generate(300)
+	dir := t.TempDir()
+	full := writeTransactionFile(t, dir, "full.dat", records)
+	// The cut sits on a scheduled publication position (window 60, publish
+	// every 4 → 60, 64, ..., 200, ...), so the truncated run's final window
+	// coincides with a scheduled one.
+	part := writeTransactionFile(t, dir, "part.dat", records[:200])
+	ckdir := filepath.Join(dir, "ckpt")
+	base := []string{
+		"-window", "60", "-support", "10", "-vuln", "5",
+		"-epsilon", "0.1", "-delta", "0.4", "-scheme", "hybrid",
+		"-publish-every", "4", "-seed", "17", "-workers", "2", "-top", "0",
+	}
+
+	ref := windowBlocks(t, runArgs(t, append([]string{"-input", full}, base...)))
+	if len(ref) != 61 {
+		t.Fatalf("reference run published %d windows, want 61", len(ref))
+	}
+
+	firstOut := runArgs(t, append([]string{
+		"-input", part, "-checkpoint-dir", ckdir, "-checkpoint-every", "1",
+	}, base...))
+	first := windowBlocks(t, firstOut)
+	if len(first) != 36 { // positions 60..200
+		t.Fatalf("truncated run published %d windows, want 36", len(first))
+	}
+	for i := range first {
+		if first[i] != ref[i] {
+			t.Fatalf("truncated-run window %d differs from reference", i)
+		}
+	}
+	if !strings.Contains(firstOut, "checkpoint(s) written") {
+		t.Fatalf("summary missing the checkpoint count:\n%s", firstOut)
+	}
+
+	resumedOut := runArgs(t, append([]string{
+		"-input", full, "-checkpoint-dir", ckdir, "-checkpoint-every", "1", "-resume",
+	}, base...))
+	resumed := windowBlocks(t, resumedOut)
+	if len(resumed) != len(ref)-36 {
+		t.Fatalf("resumed run published %d windows, want %d", len(resumed), len(ref)-36)
+	}
+	for i := range resumed {
+		if resumed[i] != ref[36+i] {
+			t.Fatalf("resumed window %d differs from the uninterrupted reference:\n got %s\nwant %s",
+				i, resumed[i], ref[36+i])
+		}
+	}
+	// The replayed prefix counts: the summary sees the whole stream.
+	if !strings.Contains(resumedOut, "window(s) published over 300 records") {
+		t.Fatalf("resumed summary does not span the full stream:\n%s", resumedOut)
+	}
+}
+
+// TestRunResumeWithoutCheckpointStartsFresh: -resume against an empty store
+// warns and runs from the beginning instead of failing.
+func TestRunResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	ckdir := filepath.Join(t.TempDir(), "ckpt")
+	out := runArgs(t, []string{
+		"-gen", "webview", "-n", "700", "-window", "600", "-support", "12",
+		"-epsilon", "0.1", "-delta", "0.4",
+		"-checkpoint-dir", ckdir, "-resume",
+	})
+	if !strings.Contains(out, "1 window(s) published") {
+		t.Fatalf("fresh -resume run did not publish:\n%s", out)
+	}
+}
+
+// TestRunCheckpointFlagValidation rejects out-of-range durability flags at
+// startup.
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "webview", "-checkpoint-dir", "x", "-checkpoint-every", "0"},
+		{"-gen", "webview", "-checkpoint-dir", "x", "-checkpoint-every", "-3"},
+		{"-gen", "webview", "-checkpoint-dir", "x", "-checkpoint-keep", "0"},
+		{"-gen", "webview", "-resume"},                     // no -checkpoint-dir
+		{"-input", "-", "-checkpoint-dir", "x", "-resume"}, // stdin cannot replay
+		{"-gen", "webview", "-n", "0"},
+		{"-gen", "webview", "-window", "0"},
+		{"-gen", "webview", "-support", "0"},
+		{"-gen", "webview", "-vuln", "-1"},
+		{"-gen", "webview", "-publish-every", "-1"},
+		{"-gen", "webview", "-top", "-1"},
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("case %d (%v) did not error", i, args)
+		}
 	}
 }

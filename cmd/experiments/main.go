@@ -13,8 +13,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,6 +25,20 @@ import (
 )
 
 func main() {
+	// Buffer stdout and check every write: a full disk or closed pipe must
+	// fail the command, not silently truncate a figure.
+	out := bufio.NewWriter(os.Stdout)
+	err := run(out)
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out *bufio.Writer) error {
 	var (
 		fig        = flag.Int("fig", 0, "figure to regenerate (4-8); 0 runs all")
 		ablation   = flag.String("ablation", "", "run an ablation instead of a figure: knowledge, republication or suppression")
@@ -37,8 +53,7 @@ func main() {
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "experiments: unknown format %q (table, csv)\n", *format)
-		os.Exit(1)
+		return fmt.Errorf("unknown format %q (table, csv)", *format)
 	}
 	outputFormat = *format
 
@@ -53,11 +68,10 @@ func main() {
 	}
 
 	if *ablation != "" {
-		if err := runAblation(*ablation, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: ablation %s: %v\n", *ablation, err)
-			os.Exit(1)
+		if err := runAblation(out, *ablation, opts); err != nil {
+			return fmt.Errorf("ablation %s: %w", *ablation, err)
 		}
-		return
+		return nil
 	}
 
 	figs := []int{*fig}
@@ -68,30 +82,43 @@ func main() {
 		t0 := time.Now()
 		panels, err := experiment.Figure(f, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f, err)
-			os.Exit(1)
+			return fmt.Errorf("figure %d: %w", f, err)
 		}
 		for _, p := range panels {
-			printPanel(p)
+			if err := printPanel(out, p); err != nil {
+				return err
+			}
 		}
-		fmt.Printf("# figure %d regenerated in %v\n\n", f, time.Since(t0).Round(time.Millisecond))
+		if _, err := fmt.Fprintf(out, "# figure %d regenerated in %v\n\n",
+			f, time.Since(t0).Round(time.Millisecond)); err != nil {
+			return err
+		}
+		// Flush after every figure so long runs stream progress instead of
+		// holding everything until exit.
+		if err := out.Flush(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 var outputFormat = "table"
 
-func printPanel(p experiment.Panel) {
+func printPanel(w io.Writer, p experiment.Panel) error {
 	if outputFormat == "csv" {
-		fmt.Print(p.CSV())
-		return
+		_, err := io.WriteString(w, p.CSV())
+		return err
 	}
-	fmt.Print(p.Table())
-	fmt.Println()
+	if _, err := io.WriteString(w, p.Table()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // runAblation executes one of the design-choice ablations DESIGN.md calls
 // out and prints its series.
-func runAblation(name string, opts experiment.FigureOptions) error {
+func runAblation(out io.Writer, name string, opts experiment.FigureOptions) error {
 	if opts.WindowSize == 0 {
 		opts.WindowSize = 2000
 	}
@@ -121,12 +148,11 @@ func runAblation(name string, opts experiment.FigureOptions) error {
 		if err != nil {
 			return err
 		}
-		printPanel(experiment.Panel{
+		return printPanel(out, experiment.Panel{
 			Title:  fmt.Sprintf("Ablation %s: privacy vs adversary knowledge points (δ=%.2g)", ds.Name, params.Delta),
 			XLabel: "knowledge points (top-k true supports)", YLabel: "avg_prig",
 			Series: []experiment.Series{s},
 		})
-		return nil
 	case "republication":
 		w, err := experiment.Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
 		if err != nil {
@@ -136,12 +162,11 @@ func runAblation(name string, opts experiment.FigureOptions) error {
 		if err != nil {
 			return err
 		}
-		printPanel(experiment.Panel{
+		return printPanel(out, experiment.Panel{
 			Title:  fmt.Sprintf("Ablation %s: averaging adversary MSE vs observed windows", ds.Name),
 			XLabel: "windows observed", YLabel: "MSE of averaged estimate",
 			Series: series,
 		})
-		return nil
 	case "suppression":
 		w, err := experiment.Precompute(ds, opts.WindowSize, opts.Windows, opts.Stride, 25, 5, opts.Seed, false)
 		if err != nil {
@@ -151,12 +176,17 @@ func runAblation(name string, opts experiment.FigureOptions) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== Ablation %s: detecting-then-removing vs Butterfly (%d windows) ==\n", ds.Name, cmp.Windows)
-		fmt.Printf("suppression: deletes %.1f%% of published itemsets/window, %.1f detect-remove rounds, %v total\n",
-			100*cmp.SuppressedFrac, cmp.SuppressRounds, cmp.SuppressTime.Round(time.Millisecond))
-		fmt.Printf("butterfly:   deletes nothing, avg_pred %.4g (ε=%.2g), %v total\n",
+		if _, err := fmt.Fprintf(out, "== Ablation %s: detecting-then-removing vs Butterfly (%d windows) ==\n",
+			ds.Name, cmp.Windows); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(out, "suppression: deletes %.1f%% of published itemsets/window, %.1f detect-remove rounds, %v total\n",
+			100*cmp.SuppressedFrac, cmp.SuppressRounds, cmp.SuppressTime.Round(time.Millisecond)); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(out, "butterfly:   deletes nothing, avg_pred %.4g (ε=%.2g), %v total\n",
 			cmp.ButterflyPred, params.Epsilon, cmp.ButterflyTime.Round(time.Millisecond))
-		return nil
+		return err
 	default:
 		return fmt.Errorf("unknown ablation %q (knowledge, republication, suppression)", name)
 	}

@@ -1,0 +1,55 @@
+package checkpoint_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// FuzzCheckpointDecode pins the decoder's safety contract: whatever the
+// bytes — torn, bit-flipped, fabricated, adversarial — Decode must return
+// either a valid snapshot or an error wrapping ErrCorrupt/ErrVersion. It
+// must never panic, and a successful decode must re-encode to the exact
+// input (the format is canonical), so corruption can never round-trip
+// silently.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := checkpoint.Encode(testSnapshot(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn write
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-2] ^= 0xFF // damaged checksum
+	f.Add(flipped)
+	future := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(future[8:], checkpoint.Version+1)
+	binary.LittleEndian.PutUint32(future[len(future)-4:],
+		crc32.ChecksumIEEE(future[:len(future)-4]))
+	f.Add(future) // well-formed file from a newer build
+	f.Add([]byte("BFLYCKPT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := checkpoint.Decode(data)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) && !errors.Is(err, checkpoint.ErrVersion) {
+				t.Fatalf("decode error outside the contract: %v", err)
+			}
+			if s != nil {
+				t.Fatal("snapshot returned alongside an error")
+			}
+			return
+		}
+		re, err := checkpoint.Encode(s)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded snapshot: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

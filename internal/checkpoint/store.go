@@ -1,0 +1,226 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Crash points of the write protocol, consulted through Store.CrashHook so
+// the fault-injection suite can simulate a process death at each stage.
+// They are part of the store's tested contract:
+//
+//   - CrashBeforeWrite: nothing has touched the disk; every existing
+//     generation is intact.
+//   - CrashBeforeRename: the temp file is fully written and synced but the
+//     atomic rename never happened; recovery ignores the orphan.
+//   - CrashTornWrite: simulates a filesystem without atomic rename — a
+//     torn half-snapshot lands under the FINAL generation name; recovery
+//     must detect it by checksum and fall back a generation.
+const (
+	CrashBeforeWrite  = "before-write"
+	CrashBeforeRename = "before-rename"
+	CrashTornWrite    = "torn-write"
+)
+
+// ErrInjectedCrash is returned by Save when the CrashHook fired: the test
+// harness's stand-in for the process dying mid-protocol.
+var ErrInjectedCrash = errors.New("checkpoint: injected crash")
+
+// DefaultKeep is how many snapshot generations a store retains when the
+// caller does not say otherwise.
+const DefaultKeep = 3
+
+// pattern matches generation files; the zero-padded record position makes
+// lexical order equal stream order.
+const (
+	genFormat = "ckpt-%016d.bfck"
+	genGlob   = "ckpt-*.bfck"
+)
+
+// Store manages a directory of checkpoint generations. Saves are atomic
+// (temp file, fsync, rename, directory fsync) and pruned to the last keep
+// generations; loads walk generations newest-first, skipping any snapshot
+// that fails validation, so one corrupt file costs one generation of
+// progress, never the run.
+//
+// Store is used from a single goroutine (the pipeline's emit stage), like
+// the sources and sinks around it.
+type Store struct {
+	dir  string
+	keep int
+
+	// Logf, when non-nil, receives warnings the store absorbs — a corrupt
+	// generation skipped during recovery, an unprunable stale file. The
+	// CLI points it at stderr; tests capture it.
+	Logf func(format string, args ...any)
+
+	// CrashHook, when non-nil, is consulted with each crash point and the
+	// 1-based save number; returning true simulates a process crash there
+	// (see the CrashBefore*/CrashTorn constants). Test-only, like
+	// core.Publisher's chunkHook.
+	CrashHook func(point string, save int) bool
+
+	saves int
+}
+
+// NewStore opens (creating if needed) a checkpoint directory retaining the
+// last keep generations; keep <= 0 selects DefaultKeep.
+func NewStore(dir string, keep int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty store directory")
+	}
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store: %w", err)
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) logf(format string, args ...any) {
+	if st.Logf != nil {
+		st.Logf(format, args...)
+	}
+}
+
+func (st *Store) crash(point string) bool {
+	return st.CrashHook != nil && st.CrashHook(point, st.saves)
+}
+
+// Save atomically persists s as the generation named by its record
+// position, then prunes generations beyond the retention limit. A snapshot
+// is only visible under its final name once fully written and synced; a
+// crash at any point of the protocol leaves every earlier generation
+// intact.
+func (st *Store) Save(s *Snapshot) error {
+	st.saves++
+	if st.crash(CrashBeforeWrite) {
+		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashBeforeWrite)
+	}
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(st.dir, fmt.Sprintf(genFormat, s.Records))
+	if st.crash(CrashTornWrite) {
+		// Simulated non-atomic filesystem: half a snapshot lands under the
+		// final name. Recovery must catch it by checksum.
+		if err := writeFileSync(final, data[:len(data)/2]); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashTornWrite)
+	}
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if st.crash(CrashBeforeRename) {
+		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashBeforeRename)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
+	}
+	syncDir(st.dir)
+	st.prune()
+	return nil
+}
+
+// writeFileSync writes data and fsyncs before closing, so a rename never
+// publishes bytes the disk has not accepted.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so the rename itself is durable.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Generations returns the generation files present, oldest first (lexical
+// = stream order). Orphaned temp files are excluded.
+func (st *Store) Generations() ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(st.dir, genGlob))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing store: %w", err)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// prune removes the oldest generations beyond the retention limit.
+func (st *Store) prune() {
+	gens, err := st.Generations()
+	if err != nil {
+		st.logf("checkpoint: pruning: %v", err)
+		return
+	}
+	for len(gens) > st.keep {
+		if err := os.Remove(gens[0]); err != nil {
+			st.logf("checkpoint: pruning %s: %v", gens[0], err)
+			return
+		}
+		gens = gens[1:]
+	}
+}
+
+// Load reads and validates one generation file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", path, err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Latest returns the newest decodable snapshot and its path. Corrupt,
+// torn or future-version generations are skipped with a logged warning —
+// the previous-generation fallback that bounds the damage of a crash
+// mid-write to one checkpoint interval of progress. A store with no usable
+// snapshot returns (nil, "", nil); only an unreadable directory is an
+// error.
+func (st *Store) Latest() (*Snapshot, string, error) {
+	gens, err := st.Generations()
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		s, err := Load(gens[i])
+		if err != nil {
+			st.logf("checkpoint: skipping unusable generation %s: %v", gens[i], err)
+			continue
+		}
+		return s, gens[i], nil
+	}
+	return nil, "", nil
+}

@@ -1,0 +1,234 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
+)
+
+func snapshotAt(t testing.TB, records uint64) *checkpoint.Snapshot {
+	t.Helper()
+	s := testSnapshot(t)
+	s.Records = records
+	return s
+}
+
+func TestStoreSaveLoadLatest(t *testing.T) {
+	st, err := checkpoint.NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []uint64{100, 200, 300} {
+		if err := st.Save(snapshotAt(t, pos)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("%d generations, want 3", len(gens))
+	}
+	s, path, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Records != 300 {
+		t.Fatalf("Latest = %+v at %s, want the snapshot at record 300", s, path)
+	}
+	if path != gens[len(gens)-1] {
+		t.Fatalf("Latest path %s is not the newest generation %s", path, gens[len(gens)-1])
+	}
+}
+
+func TestStorePrunesToKeep(t *testing.T) {
+	st, err := checkpoint.NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := uint64(1); pos <= 5; pos++ {
+		if err := st.Save(snapshotAt(t, pos*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("%d generations survive pruning, want 2", len(gens))
+	}
+	// The survivors are the NEWEST two.
+	s, _, err := st.Latest()
+	if err != nil || s.Records != 500 {
+		t.Fatalf("Latest after pruning = %+v, %v", s, err)
+	}
+	first, err := checkpoint.Load(gens[0])
+	if err != nil || first.Records != 400 {
+		t.Fatalf("oldest survivor = %+v, %v; want record 400", first, err)
+	}
+}
+
+func TestEmptyStoreLatest(t *testing.T) {
+	st, err := checkpoint.NewStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, path, err := st.Latest()
+	if err != nil || s != nil || path != "" {
+		t.Fatalf("empty store Latest = (%v, %q, %v), want (nil, \"\", nil)", s, path, err)
+	}
+}
+
+func TestNewStoreRejectsEmptyDir(t *testing.T) {
+	if _, err := checkpoint.NewStore("", 3); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
+
+// TestLatestFallsBackPastCorruption: bit rot in the newest generation costs
+// one generation of progress, with a logged warning — never the run.
+func TestLatestFallsBackPastCorruption(t *testing.T) {
+	st, err := checkpoint.NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	st.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	for _, pos := range []uint64{100, 200} {
+		if err := st.Save(snapshotAt(t, pos)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(gens[1], -1); err != nil {
+		t.Fatal(err)
+	}
+	s, path, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Records != 100 {
+		t.Fatalf("Latest past corruption = %+v at %s, want the record-100 generation", s, path)
+	}
+	if len(warnings) == 0 || !strings.Contains(warnings[0], "skipping unusable generation") {
+		t.Fatalf("no fallback warning logged: %q", warnings)
+	}
+}
+
+// TestLatestFallsBackPastTruncation: a torn (half-written) newest file is
+// equally detected and skipped.
+func TestLatestFallsBackPastTruncation(t *testing.T) {
+	st, err := checkpoint.NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []uint64{100, 200} {
+		if err := st.Save(snapshotAt(t, pos)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(gens[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.TruncateFile(gens[1], info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || s.Records != 100 {
+		t.Fatalf("Latest past truncation = %+v, want the record-100 generation", s)
+	}
+}
+
+// TestCrashPointsLeaveEarlierGenerationsIntact walks every crash point of
+// the write protocol and asserts the invariant the resume path depends on:
+// whatever the interruption, Latest still returns the last fully-committed
+// snapshot.
+func TestCrashPointsLeaveEarlierGenerationsIntact(t *testing.T) {
+	for _, point := range []string{
+		checkpoint.CrashBeforeWrite,
+		checkpoint.CrashBeforeRename,
+		checkpoint.CrashTornWrite,
+	} {
+		t.Run(point, func(t *testing.T) {
+			st, err := checkpoint.NewStore(t.TempDir(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Logf = func(string, ...any) {}
+			if err := st.Save(snapshotAt(t, 100)); err != nil {
+				t.Fatal(err)
+			}
+			plan := &faultinject.CrashPlan{Point: point, OnSave: 2}
+			st.CrashHook = plan.Hook()
+			err = st.Save(snapshotAt(t, 200))
+			if !errors.Is(err, checkpoint.ErrInjectedCrash) {
+				t.Fatalf("Save under crash plan: %v, want ErrInjectedCrash", err)
+			}
+			if plan.Fired() != 1 {
+				t.Fatalf("crash fired %d times, want 1", plan.Fired())
+			}
+			s, _, err := st.Latest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == nil || s.Records != 100 {
+				t.Fatalf("Latest after crash at %s = %+v, want the record-100 generation", point, s)
+			}
+			// The interrupted protocol leaves debris (a temp file, a torn
+			// final file) but never blocks the next save: a restarted process
+			// writing the same generation again must simply succeed.
+			st.CrashHook = nil
+			if err := st.Save(snapshotAt(t, 200)); err != nil {
+				t.Fatalf("Save after simulated restart: %v", err)
+			}
+			s, _, err = st.Latest()
+			if err != nil || s == nil || s.Records != 200 {
+				t.Fatalf("Latest after recovery save = %+v, %v", s, err)
+			}
+		})
+	}
+}
+
+// TestCrashBeforeRenameLeavesNoVisibleGeneration: the temp file of an
+// interrupted save must not be picked up as a generation.
+func TestCrashBeforeRenameLeavesNoVisibleGeneration(t *testing.T) {
+	dir := t.TempDir()
+	st, err := checkpoint.NewStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faultinject.CrashPlan{Point: checkpoint.CrashBeforeRename, OnSave: 1}
+	st.CrashHook = plan.Hook()
+	if err := st.Save(snapshotAt(t, 100)); !errors.Is(err, checkpoint.ErrInjectedCrash) {
+		t.Fatalf("Save: %v", err)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil || len(tmps) != 1 {
+		t.Fatalf("orphan temp files = %v, %v; want exactly one", tmps, err)
+	}
+	gens, err := st.Generations()
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("generations = %v, %v; want none (temp file must not count)", gens, err)
+	}
+}

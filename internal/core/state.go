@@ -1,0 +1,128 @@
+package core
+
+// This file is the durability boundary of the publisher: Snapshot captures
+// everything Publish consults that is not derivable from the Config — the
+// window counter, the RNG cursor, the consistent-republication cache, and
+// the incremental-bias memo — and Restore rebuilds a publisher from it. A
+// publisher restored from a snapshot taken at window w publishes windows
+// w+1, w+2, ... byte-identically to the publisher the snapshot was taken
+// from. That is what makes crash-and-resume safe against the republication
+// attack of §VI: a resumed stream re-serves the SAME sanitized values for
+// unchanged supports instead of re-drawing fresh noise an adversary could
+// average out.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// LadderRung is one step of the serialized FEC ladder: the (support,
+// class-size) pair the incremental-bias memo is keyed by.
+type LadderRung struct {
+	Support int
+	Size    int
+}
+
+// CacheEntry is one serialized republication-cache binding. Key is the
+// compact itemset.Itemset.Key() encoding (binary, not printable).
+type CacheEntry struct {
+	Key         string
+	TrueSupport int
+	Sanitized   int
+	LastSeen    int
+}
+
+// PublisherState is the complete serializable state of a Publisher. All
+// fields are data, none are configuration: a restored publisher must be
+// built with the same Params, Scheme, seed lineage and worker tier as the
+// one snapshotted — the checkpoint layer fingerprints the configuration to
+// enforce that.
+type PublisherState struct {
+	// Window is the number of Publish calls completed.
+	Window int
+	// RNG is the perturbation source cursor (rng.Source.State).
+	RNG uint64
+	// BiasReuses mirrors the incremental-path diagnostic counter.
+	BiasReuses int
+	// Ladder and Biases are the incremental-bias memo; both empty or both
+	// of equal length.
+	Ladder []LadderRung
+	Biases []int
+	// Cache holds the republication cache sorted by Key, so snapshots of
+	// equal publishers serialize to equal bytes.
+	Cache []CacheEntry
+}
+
+// Snapshot captures the publisher's state. The returned value shares
+// nothing with the publisher; mutating one never disturbs the other.
+func (pub *Publisher) Snapshot() *PublisherState {
+	st := &PublisherState{
+		Window:     pub.window,
+		RNG:        pub.src.State(),
+		BiasReuses: pub.biasReuses,
+	}
+	if pub.lastBiases != nil {
+		st.Ladder = make([]LadderRung, len(pub.lastLadder))
+		for i, r := range pub.lastLadder {
+			st.Ladder[i] = LadderRung{Support: r.support, Size: r.size}
+		}
+		st.Biases = append([]int(nil), pub.lastBiases...)
+	}
+	st.Cache = make([]CacheEntry, 0, len(pub.cache))
+	for k, e := range pub.cache {
+		st.Cache = append(st.Cache, CacheEntry{
+			Key:         k,
+			TrueSupport: e.trueSupport,
+			Sanitized:   e.sanitized,
+			LastSeen:    e.lastSeen,
+		})
+	}
+	sort.Slice(st.Cache, func(i, j int) bool { return st.Cache[i].Key < st.Cache[j].Key })
+	return st
+}
+
+// Restore overwrites the publisher's state with a previously captured
+// snapshot. Configuration (params, scheme, worker tier, cache policy) is
+// left untouched. It validates the snapshot's internal consistency so a
+// decoded-but-nonsensical checkpoint fails loudly here rather than
+// corrupting later windows.
+func (pub *Publisher) Restore(st *PublisherState) error {
+	if st == nil {
+		return fmt.Errorf("core: nil publisher state")
+	}
+	if st.Window < 0 {
+		return fmt.Errorf("core: publisher state with negative window counter %d", st.Window)
+	}
+	if len(st.Ladder) != len(st.Biases) {
+		return fmt.Errorf("core: publisher state with %d ladder rungs but %d biases",
+			len(st.Ladder), len(st.Biases))
+	}
+	pub.window = st.Window
+	pub.src.SetState(st.RNG)
+	pub.biasReuses = st.BiasReuses
+	pub.lastLadder, pub.lastBiases = nil, nil
+	if len(st.Biases) > 0 {
+		pub.lastLadder = make([]ladderRung, len(st.Ladder))
+		for i, r := range st.Ladder {
+			pub.lastLadder[i] = ladderRung{support: r.Support, size: r.Size}
+		}
+		pub.lastBiases = append([]int(nil), st.Biases...)
+	}
+	pub.cache = make(map[string]cacheEntry, len(st.Cache))
+	for _, e := range st.Cache {
+		pub.cache[e.Key] = cacheEntry{
+			trueSupport: e.TrueSupport,
+			sanitized:   e.Sanitized,
+			lastSeen:    e.LastSeen,
+		}
+	}
+	return nil
+}
+
+// WindowRecords returns the miner's current sliding-window content in
+// stream order (oldest first) — the transaction buffer a checkpoint stores
+// so a resumed stream can rebuild the mining state without replaying the
+// whole prefix. The slice is freshly allocated; the itemsets are immutable.
+func (s *Stream) WindowRecords() []itemset.Itemset { return s.miner.Window() }

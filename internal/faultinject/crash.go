@@ -1,0 +1,85 @@
+package faultinject
+
+// Crash injection for the checkpoint write protocol: CrashPlan schedules a
+// simulated process death at a chosen point of a chosen save (plugging into
+// checkpoint.Store.CrashHook structurally, the same way FlakySource plugs
+// into pipeline.RecordSource without an import), and the file corruptors
+// damage already-written snapshot files the way real-world failures do —
+// truncation (torn write) and bit rot (flipped bytes). Everything is
+// deterministic, keyed by save number and byte offset.
+
+import (
+	"fmt"
+	"os"
+)
+
+// CrashPlan schedules one simulated crash inside a checkpoint store's write
+// protocol. The zero plan never fires.
+type CrashPlan struct {
+	// Point is the protocol point to die at — one of the checkpoint
+	// package's Crash* constants ("before-write", "before-rename",
+	// "torn-write").
+	Point string
+	// OnSave is the 1-based save number to die on (0: never).
+	OnSave int
+
+	fired int
+}
+
+// Hook adapts the plan to checkpoint.Store.CrashHook. The returned func
+// reports true — crash now — when the store reaches the planned point of
+// the planned save.
+func (p *CrashPlan) Hook() func(point string, save int) bool {
+	return func(point string, save int) bool {
+		if p.OnSave != 0 && save == p.OnSave && point == p.Point {
+			p.fired++
+			return true
+		}
+		return false
+	}
+}
+
+// Fired reports how many times the plan's crash fired.
+func (p *CrashPlan) Fired() int { return p.fired }
+
+// TruncateFile cuts a file down to the first keep bytes — a torn or
+// partial write. keep must not exceed the current size.
+func TruncateFile(path string, keep int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if keep < 0 || keep > info.Size() {
+		return fmt.Errorf("faultinject: cannot keep %d of %d bytes of %s", keep, info.Size(), path)
+	}
+	return os.Truncate(path, keep)
+}
+
+// FlipByte XORs 0xFF into the byte at offset — one spot of bit rot. A
+// negative offset counts back from the end of the file.
+func FlipByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		offset += info.Size()
+	}
+	if offset < 0 || offset >= info.Size() {
+		return fmt.Errorf("faultinject: offset %d outside %s (%d bytes)", offset, path, info.Size())
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,86 @@
+package faultinject_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func TestCrashPlanFiresOncePerMatch(t *testing.T) {
+	plan := &faultinject.CrashPlan{Point: "before-rename", OnSave: 2}
+	hook := plan.Hook()
+	if hook("before-rename", 1) {
+		t.Fatal("fired on the wrong save")
+	}
+	if hook("before-write", 2) {
+		t.Fatal("fired at the wrong point")
+	}
+	if !hook("before-rename", 2) {
+		t.Fatal("did not fire at the planned point")
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", plan.Fired())
+	}
+}
+
+func TestZeroCrashPlanNeverFires(t *testing.T) {
+	plan := &faultinject.CrashPlan{}
+	hook := plan.Hook()
+	for save := 0; save < 4; save++ {
+		if hook("before-write", save) || hook("", save) {
+			t.Fatal("zero plan fired")
+		}
+	}
+}
+
+func tempFile(t *testing.T, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "victim")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := tempFile(t, []byte("0123456789"))
+	if err := faultinject.TruncateFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "0123" {
+		t.Fatalf("after truncation: %q, %v", got, err)
+	}
+	if err := faultinject.TruncateFile(path, 100); err == nil {
+		t.Fatal("truncation past the end accepted")
+	}
+	if err := faultinject.TruncateFile(path, -1); err == nil {
+		t.Fatal("negative keep accepted")
+	}
+}
+
+func TestFlipByte(t *testing.T) {
+	path := tempFile(t, []byte{0x00, 0x11, 0x22})
+	if err := faultinject.FlipByte(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(path, -1); err != nil { // last byte
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x00, 0xEE, 0xDD}
+	if string(got) != string(want) {
+		t.Fatalf("after flips: %x, want %x", got, want)
+	}
+	if err := faultinject.FlipByte(path, 3); err == nil {
+		t.Fatal("offset past the end accepted")
+	}
+	if err := faultinject.FlipByte(path, -4); err == nil {
+		t.Fatal("offset before the start accepted")
+	}
+}

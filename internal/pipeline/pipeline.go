@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/itemset"
@@ -89,6 +90,71 @@ type Config struct {
 	// or emission (including retries and their backoff) takes longer fails
 	// the run. 0 disables the watchdog.
 	WindowTimeout time.Duration
+
+	// CheckpointDir, when non-empty, enables crash-safe checkpointing: a
+	// versioned, checksummed snapshot of the run state (source position,
+	// sliding-window buffer, full publisher state) is written atomically to
+	// this directory after every CheckpointEvery-th published window, and
+	// always after the final window of a finite or drained stream.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in published windows; 0
+	// with a CheckpointDir means every window. Negative is rejected.
+	CheckpointEvery int
+	// CheckpointKeep is how many snapshot generations to retain
+	// (checkpoint.DefaultKeep when 0).
+	CheckpointKeep int
+	// Checkpoints overrides CheckpointDir with a pre-built store — the
+	// hook tests use to install crash plans; CLI callers use CheckpointDir.
+	Checkpoints *checkpoint.Store
+	// Resume, when non-nil, restores the run from a snapshot before any
+	// stage starts: the publisher state is restored, the sliding window is
+	// rebuilt from the snapshot's buffer, and the source is fast-forwarded
+	// past the Records already consumed. The source must replay the SAME
+	// record sequence from its beginning (re-opened file, re-seeded
+	// generator); the run then publishes the remaining windows
+	// byte-identically to an uninterrupted run. The snapshot's
+	// configuration fingerprint must match this Config.
+	Resume *checkpoint.Snapshot
+}
+
+// fingerprint is the configuration identity a snapshot is bound to; resume
+// under a different fingerprint is refused (see checkpoint.Meta).
+func (cfg Config) fingerprint() checkpoint.Meta {
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = core.Basic{}
+	}
+	return checkpoint.Meta{
+		WindowSize:   cfg.WindowSize,
+		Epsilon:      cfg.Params.Epsilon,
+		Delta:        cfg.Params.Delta,
+		MinSupport:   cfg.Params.MinSupport,
+		VulnSupport:  cfg.Params.VulnSupport,
+		Seed:         cfg.Seed,
+		Scheme:       scheme.Name(),
+		ClosedOnly:   cfg.ClosedOnly,
+		Raw:          cfg.Raw,
+		Chunked:      cfg.Workers >= 2,
+		PublishEvery: cfg.PublishEvery,
+	}
+}
+
+// verifyResume rejects a snapshot that cannot deterministically continue
+// this configuration.
+func (cfg Config) verifyResume(s *checkpoint.Snapshot) error {
+	if got, want := s.Meta, cfg.fingerprint(); got != want {
+		return fmt.Errorf("pipeline: resume snapshot was taken under a different configuration (%+v, running %+v)",
+			got, want)
+	}
+	if len(s.Window) != cfg.WindowSize {
+		return fmt.Errorf("pipeline: resume snapshot window holds %d records, want the window size %d",
+			len(s.Window), cfg.WindowSize)
+	}
+	if s.Records < uint64(cfg.WindowSize) {
+		return fmt.Errorf("pipeline: resume snapshot position %d precedes the first full window of %d records",
+			s.Records, cfg.WindowSize)
+	}
+	return nil
 }
 
 // Window is one published release: the sanitized output of the sliding
@@ -98,6 +164,13 @@ type Window struct {
 	Position int
 	// Output is the sanitized (or raw, in audit mode) mining output.
 	Output *core.Output
+
+	// ckpt, when non-nil, is the snapshot to persist once this window has
+	// been delivered. It is assembled as the window flows through the
+	// stages — the mine stage contributes position and window buffer, the
+	// perturb stage the publisher state — so the saved snapshot is a
+	// consistent cut without ever stalling the pipeline on a barrier.
+	ckpt *checkpoint.Snapshot
 }
 
 // Pipeline is a reusable description of a publication run. Each call to Run
@@ -126,6 +199,20 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.WindowTimeout < 0 {
 		return nil, fmt.Errorf("pipeline: negative window timeout %v", cfg.WindowTimeout)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("pipeline: negative checkpoint interval %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointKeep < 0 {
+		return nil, fmt.Errorf("pipeline: negative checkpoint retention %d", cfg.CheckpointKeep)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" && cfg.Checkpoints == nil {
+		return nil, fmt.Errorf("pipeline: checkpoint interval %d without a checkpoint directory", cfg.CheckpointEvery)
+	}
+	if cfg.Resume != nil {
+		if err := cfg.verifyResume(cfg.Resume); err != nil {
+			return nil, err
+		}
 	}
 	// Delegate parameter/window validation to the stream constructor so the
 	// two entry points cannot drift apart.
@@ -175,6 +262,9 @@ func (e *shortStreamError) Is(target error) bool { return target == ErrShortStre
 type minedWindow struct {
 	position int
 	res      *mining.Result
+	// ckpt is the partially-filled snapshot when a checkpoint is due after
+	// this window (see Window.ckpt).
+	ckpt *checkpoint.Snapshot
 }
 
 // Run streams records through the pipeline and calls emit once per published
@@ -212,6 +302,32 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 
 	run := newRunState(ctx, p.cfg)
 	defer run.cancel()
+	run.ckpts = p.cfg.Checkpoints
+	if run.ckpts == nil && p.cfg.CheckpointDir != "" {
+		run.ckpts, err = checkpoint.NewStore(p.cfg.CheckpointDir, p.cfg.CheckpointKeep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	run.ckptEvery = p.cfg.CheckpointEvery
+	if run.ckptEvery <= 0 {
+		run.ckptEvery = 1
+	}
+	if rs := p.cfg.Resume; rs != nil {
+		// Restore before any stage starts: rebuild the miner from the
+		// snapshot's window buffer, restore the publisher, and let the mine
+		// loop fast-forward the source past the consumed prefix.
+		if err := p.cfg.verifyResume(rs); err != nil {
+			return nil, err
+		}
+		for _, rec := range rs.Window {
+			stream.Push(rec)
+		}
+		if err := stream.Publisher().Restore(&rs.Publisher); err != nil {
+			return nil, err
+		}
+		run.resume = rs
+	}
 	buffer := p.cfg.Buffer
 	if buffer == 0 {
 		buffer = 4
@@ -258,10 +374,22 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 // publication point. The final window of a finite stream is published even
 // when the stream ends between publication points, matching the historical
 // at-end release of the materialized path.
+//
+// On resume, the loop fast-forwards: the first resume.Records well-formed
+// records are pulled and discarded — their effect already lives in the
+// restored window buffer — which replays the exact bad-record and
+// vocabulary-interning history of the pre-crash run, so the Report counts
+// and every interned item id match the uninterrupted run.
 func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- minedWindow) {
-	sinceFull := 0
-	pos := 0     // stream position of the last well-formed record
-	lastPub := 0 // position of the last snapshot handed to perturb
+	pos := 0               // stream position of the last well-formed record
+	skip := 0              // records already absorbed into the restored window
+	lastPub := 0           // position of the last snapshot handed to perturb
+	published := uint64(0) // publication index, drives the checkpoint schedule
+	if rs := r.resume; rs != nil {
+		skip = int(rs.Records)
+		lastPub = skip
+		published = rs.Published
+	}
 	for {
 		if r.ctx.Err() != nil {
 			return
@@ -274,17 +402,24 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 			r.fail(err)
 			return
 		}
-		stream.Push(rec)
 		pos++
 		r.addRecord()
+		if pos <= skip {
+			continue
+		}
+		stream.Push(rec)
 		if !stream.Ready() {
 			continue
 		}
-		sinceFull++
+		// The window fills exactly at the WindowSize-th well-formed record,
+		// so the slide count is derivable from the position — which keeps it
+		// continuous across a resume.
+		sinceFull := pos - r.cfg.WindowSize + 1
 		if !(r.cfg.PublishEvery > 0 && (sinceFull-1)%r.cfg.PublishEvery == 0) {
 			continue
 		}
-		if !sendOrDone(r, mined, minedWindow{position: pos, res: stream.Mine()}) {
+		published++
+		if !sendOrDone(r, mined, r.newMined(stream, pos, published, false)) {
 			return
 		}
 		lastPub = pos
@@ -292,13 +427,44 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 	if r.ctx.Err() != nil {
 		return
 	}
+	if pos < skip {
+		r.fail(fmt.Errorf("pipeline: source ended after %d records, before the resume position %d — "+
+			"resume needs a source that replays the original stream", pos, skip))
+		return
+	}
 	if !stream.Ready() {
 		r.fail(&shortStreamError{records: pos, window: r.cfg.WindowSize, ended: true})
 		return
 	}
 	if lastPub != pos {
-		sendOrDone(r, mined, minedWindow{position: pos, res: stream.Mine()})
+		published++
+		// The final window always checkpoints (when checkpointing is on):
+		// this is the graceful-drain snapshot a restarted service resumes
+		// from.
+		sendOrDone(r, mined, r.newMined(stream, pos, published, true))
 	}
+}
+
+// newMined packages one mining snapshot, attaching the partially-filled
+// checkpoint when one is due: every ckptEvery-th publication, and always
+// the final one. The window buffer is copied here, in the only stage that
+// owns the miner.
+func (r *runState) newMined(stream *core.Stream, pos int, published uint64, final bool) minedWindow {
+	m := minedWindow{position: pos, res: stream.Mine()}
+	if r.ckpts == nil {
+		return m
+	}
+	if !final && published%uint64(r.ckptEvery) != 0 {
+		return m
+	}
+	m.ckpt = &checkpoint.Snapshot{
+		Meta:       r.cfg.fingerprint(),
+		Records:    uint64(pos),
+		BadRecords: uint64(r.badCount()),
+		Published:  published,
+		Window:     stream.WindowRecords(),
+	}
+	return m
 }
 
 // nextRecord pulls one record from the source under supervision: recovered
@@ -383,7 +549,14 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			r.fail(fmt.Errorf("pipeline: perturbing window at position %d: %w", m.position, err))
 			return
 		}
-		if !sendOrDone(r, outs, Window{Position: m.position, Output: out}) {
+		if m.ckpt != nil {
+			// Capture the publisher immediately after this window's
+			// perturbation — the consistent cut the checkpoint needs. In raw
+			// mode the publisher is untouched and the snapshot simply
+			// records its initial state.
+			m.ckpt.Publisher = *stream.Publisher().Snapshot()
+		}
+		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt}) {
 			return
 		}
 	}
@@ -408,5 +581,15 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 			continue
 		}
 		r.addPublished()
+		if w.ckpt != nil {
+			// Persist only after the window is delivered: a crash between
+			// emit and save merely re-emits from the previous generation,
+			// and the republication cache re-serves identical values.
+			if err := r.ckpts.Save(w.ckpt); err != nil {
+				r.fail(fmt.Errorf("pipeline: checkpointing window at position %d: %w", w.Position, err))
+				continue
+			}
+			r.addCheckpoint()
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -102,6 +103,31 @@ func (d *DrainSource) Next() (itemset.Itemset, error) {
 		return itemset.Itemset{}, io.EOF
 	}
 	return d.src.Next()
+}
+
+// FastForward advances src past the first records well-formed records — the
+// position-accounting primitive behind checkpoint resume. Malformed records
+// (*data.ParseError) encountered while skipping are discarded and counted
+// in skippedBad, mirroring how the original run skipped them; they do not
+// count toward records. It returns an error if the source ends or fails
+// before reaching the position: a source that cannot replay its original
+// prefix cannot resume deterministically.
+func FastForward(src RecordSource, records int) (skippedBad int, err error) {
+	for consumed := 0; consumed < records; {
+		_, err := src.Next()
+		switch {
+		case err == nil:
+			consumed++
+		case errors.As(err, new(*data.ParseError)):
+			skippedBad++
+		case errors.Is(err, io.EOF):
+			return skippedBad, fmt.Errorf(
+				"pipeline: source ended after %d records, before the fast-forward position %d", consumed, records)
+		default:
+			return skippedBad, fmt.Errorf("pipeline: fast-forwarding to record %d: %w", records, err)
+		}
+	}
+	return skippedBad, nil
 }
 
 // BadRecord is one malformed input record skipped under the bad-record

@@ -244,3 +244,119 @@ func TestUnlimitedBadRecordBudget(t *testing.T) {
 		t.Fatalf("quarantine unbounded: %d entries", len(rep.Quarantined))
 	}
 }
+
+// TestFastForwardGeneratorSource pins position accounting on the synthetic
+// source: consume k records, then re-open an identically-seeded generator,
+// FastForward past k, and the remaining sequence must be identical — the
+// property checkpoint resume relies on.
+func TestFastForwardGeneratorSource(t *testing.T) {
+	const n, k = 120, 47
+	first := pipeline.GeneratorSource(data.WebViewLike(5), n)
+	var want []itemset.Itemset
+	for i := 0; i < k; i++ {
+		if _, err := first.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want = drainSource(t, first)
+
+	reopened := pipeline.GeneratorSource(data.WebViewLike(5), n)
+	skippedBad, err := pipeline.FastForward(reopened, k)
+	if err != nil || skippedBad != 0 {
+		t.Fatalf("FastForward = (%d, %v), want (0, nil)", skippedBad, err)
+	}
+	got := drainSource(t, reopened)
+	if len(got) != len(want) || len(got) != n-k {
+		t.Fatalf("remaining records = %d, want %d", len(got), n-k)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("record %d after fast-forward differs", i)
+		}
+	}
+}
+
+// drainWellFormed reads src to EOF, discarding malformed records the way
+// the supervised pipeline does under an unlimited bad-record budget.
+func drainWellFormed(t *testing.T, src pipeline.RecordSource) []itemset.Itemset {
+	t.Helper()
+	var out []itemset.Itemset
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			var pe *data.ParseError
+			if errors.As(err, &pe) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestFastForwardReaderSource: the same property for file-backed input,
+// including malformed lines inside the skipped prefix — they are discarded
+// and counted, and the re-opened reader re-interns the same vocabulary.
+func TestFastForwardReaderSource(t *testing.T) {
+	text := streamText(t, testRecords(t, 60))
+	dirty, injected := corrupt(text, 10)
+	const k = 25 // well-formed records to skip; bad lines sit in this prefix
+
+	first := pipeline.ReaderSource(strings.NewReader(dirty), data.NewVocabulary())
+	consumed := 0
+	for consumed < k {
+		if _, err := first.Next(); err != nil {
+			var pe *data.ParseError
+			if errors.As(err, &pe) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		consumed++
+	}
+	want := drainWellFormed(t, first)
+
+	vocab := data.NewVocabulary()
+	reopened := pipeline.ReaderSource(strings.NewReader(dirty), vocab)
+	skippedBad, err := pipeline.FastForward(reopened, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skippedBad == 0 || skippedBad > injected {
+		t.Fatalf("skippedBad = %d, want between 1 and %d", skippedBad, injected)
+	}
+	got := drainWellFormed(t, reopened)
+	if len(got) != len(want) {
+		t.Fatalf("remaining records = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("record %d after fast-forward differs", i)
+		}
+	}
+}
+
+// TestFastForwardPastEnd: a source shorter than the target position is an
+// error naming the shortfall, not a silent partial skip.
+func TestFastForwardPastEnd(t *testing.T) {
+	src := pipeline.SliceSource(testRecords(t, 10))
+	if _, err := pipeline.FastForward(src, 11); err == nil ||
+		!strings.Contains(err.Error(), "before the fast-forward position") {
+		t.Fatalf("FastForward past the end: %v", err)
+	}
+}
+
+// TestFastForwardZero is a no-op.
+func TestFastForwardZero(t *testing.T) {
+	records := testRecords(t, 5)
+	src := pipeline.SliceSource(records)
+	if _, err := pipeline.FastForward(src, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainSource(t, src); len(got) != 5 {
+		t.Fatalf("zero fast-forward consumed records: %d left", len(got))
+	}
+}

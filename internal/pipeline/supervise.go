@@ -13,6 +13,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
 // transientError marks an error as retryable.
@@ -81,6 +83,8 @@ type Report struct {
 	Retries int
 	// PanicsRecovered is the number of panics converted to errors.
 	PanicsRecovered int
+	// Checkpoints is the number of crash-safe snapshots written.
+	Checkpoints int
 	// Quarantined holds the first few skipped bad records, with line
 	// numbers, for the audit trail.
 	Quarantined []BadRecord
@@ -93,6 +97,14 @@ type runState struct {
 	cfg    Config
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Durability plumbing (set once in RunContext, before the stages
+	// start): the checkpoint store, the snapshot interval in published
+	// windows, and the snapshot this run resumes from (nil for a fresh
+	// run).
+	ckpts     *checkpoint.Store
+	ckptEvery int
+	resume    *checkpoint.Snapshot
 
 	mu     sync.Mutex
 	err    error
@@ -138,10 +150,11 @@ func (r *runState) snapshot() *Report {
 	return &rep
 }
 
-func (r *runState) addRecord()    { r.mu.Lock(); r.report.Records++; r.mu.Unlock() }
-func (r *runState) addPublished() { r.mu.Lock(); r.report.Published++; r.mu.Unlock() }
-func (r *runState) addRetry()     { r.mu.Lock(); r.report.Retries++; r.mu.Unlock() }
-func (r *runState) addPanic()     { r.mu.Lock(); r.report.PanicsRecovered++; r.mu.Unlock() }
+func (r *runState) addRecord()     { r.mu.Lock(); r.report.Records++; r.mu.Unlock() }
+func (r *runState) addPublished()  { r.mu.Lock(); r.report.Published++; r.mu.Unlock() }
+func (r *runState) addCheckpoint() { r.mu.Lock(); r.report.Checkpoints++; r.mu.Unlock() }
+func (r *runState) addRetry()      { r.mu.Lock(); r.report.Retries++; r.mu.Unlock() }
+func (r *runState) addPanic()      { r.mu.Lock(); r.report.PanicsRecovered++; r.mu.Unlock() }
 
 // recordBad counts one malformed record against the budget and quarantines
 // it. It reports false when the budget is exhausted (MaxBadRecords == 0

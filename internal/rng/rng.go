@@ -7,7 +7,11 @@
 // quality for simulation purposes, and trivially seedable.
 package rng
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Mix deterministically combines the given 64-bit words into one
 // well-scrambled seed by folding each word through the SplitMix64 finalizer.
@@ -44,6 +48,36 @@ func New(seed uint64) *Source {
 // dedicated draw.
 func (s *Source) Split() *Source {
 	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// State returns the generator's internal cursor. Together with SetState it
+// is the stable serialization of a Source: a Source restored from a recorded
+// state produces exactly the draw sequence the original would have produced
+// from the moment of recording — the property crash-safe checkpointing of
+// the publication stream depends on.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState rewinds (or fast-forwards) the generator to a cursor previously
+// obtained from State.
+func (s *Source) SetState(state uint64) { s.state = state }
+
+// sourceStateLen is the serialized size of a Source: one 64-bit cursor.
+const sourceStateLen = 8
+
+// MarshalBinary implements encoding.BinaryMarshaler: 8 bytes, little-endian
+// cursor. The format is frozen — checkpoint files depend on it.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, s.state), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, accepting exactly
+// the MarshalBinary format.
+func (s *Source) UnmarshalBinary(data []byte) error {
+	if len(data) != sourceStateLen {
+		return fmt.Errorf("rng: source state is %d bytes, want %d", len(data), sourceStateLen)
+	}
+	s.state = binary.LittleEndian.Uint64(data)
+	return nil
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
