@@ -20,6 +20,14 @@
 // finish publishing, then a partial-run summary prints. A second signal
 // aborts immediately.
 //
+// Observability: -telemetry-addr HOST:PORT serves /metrics (Prometheus text
+// format), /debug/vars (JSON snapshot of the same registry) and
+// net/http/pprof on a private mux, covering per-stage latency, retry and
+// quarantine counters, checkpoint cadence and the live privacy/utility
+// posture (see OBSERVABILITY.md). -log-json switches the stderr status
+// lines to structured JSON (log/slog). Telemetry is observation-only:
+// published output is byte-identical with it on or off.
+//
 // Each published window prints the top itemsets with SANITIZED supports —
 // the only supports that ever leave the system.
 package main
@@ -30,6 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,7 +52,54 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
+
+// statusLogger renders the CLI's operator-facing status lines: plain
+// `butterfly: ...` stderr lines by default, structured JSON records (one
+// per line, via log/slog) under -log-json. Window output on stdout is the
+// published data product and is never routed through here.
+type statusLogger struct {
+	json *slog.Logger // nil in plain mode
+	out  io.Writer    // plain-mode destination
+}
+
+func newStatusLogger(jsonMode bool) *statusLogger {
+	return newStatusLoggerTo(os.Stderr, jsonMode)
+}
+
+// newStatusLoggerTo routes status lines to an explicit writer (tests
+// capture both framings through it).
+func newStatusLoggerTo(w io.Writer, jsonMode bool) *statusLogger {
+	if jsonMode {
+		return &statusLogger{json: slog.New(slog.NewJSONHandler(w, nil))}
+	}
+	return &statusLogger{out: w}
+}
+
+// log writes one status event. attrs are alternating key, value pairs
+// (slog convention); plain mode renders them as trailing key=value tokens.
+func (l *statusLogger) log(level slog.Level, msg string, attrs ...any) {
+	if l.json != nil {
+		l.json.Log(context.Background(), level, msg, attrs...)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "butterfly: %s", msg)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	fmt.Fprintln(l.out, b.String())
+}
+
+func (l *statusLogger) Info(msg string, attrs ...any)  { l.log(slog.LevelInfo, msg, attrs...) }
+func (l *statusLogger) Warn(msg string, attrs ...any)  { l.log(slog.LevelWarn, msg, attrs...) }
+func (l *statusLogger) Error(msg string, attrs ...any) { l.log(slog.LevelError, msg, attrs...) }
+
+// telemetryStarted, when non-nil, receives the bound telemetry address once
+// the listener is up. Test-only: the end-to-end scrape test uses it to
+// discover the :0-assigned port.
+var telemetryStarted func(addr string)
 
 // flagValues collects the numeric/durability flags for up-front validation.
 type flagValues struct {
@@ -139,6 +197,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		checkpointEvry = fs.Int("checkpoint-every", 16, "published windows between checkpoints (with -checkpoint-dir)")
 		checkpointKeep = fs.Int("checkpoint-keep", 3, "checkpoint generations to retain (with -checkpoint-dir)")
 		resume         = fs.Bool("resume", false, "resume from the newest usable checkpoint in -checkpoint-dir")
+		telemetryAddr  = fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on HOST:PORT (empty: off)")
+		logJSON        = fs.Bool("log-json", false, "emit status lines as structured JSON (log/slog) on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +212,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		resume: *resume, input: *input,
 	}); err != nil {
 		return err
+	}
+	logger := newStatusLogger(*logJSON)
+
+	// The telemetry registry always exists — the end-of-run summary is
+	// sourced from it, whether or not it is served over HTTP — so the
+	// normal and interrupted summary paths read the same counters.
+	reg := telemetry.NewRegistry()
+	if *telemetryAddr != "" {
+		ln, err := net.Listen("tcp", *telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("-telemetry-addr: %w", err)
+		}
+		srv := &http.Server{Handler: reg.Mux()}
+		logger.Info("telemetry listening", "addr", ln.Addr().String())
+		if telemetryStarted != nil {
+			telemetryStarted(ln.Addr().String())
+		}
+		go func() { _ = srv.Serve(ln) }()
+		// Drain the observability server alongside the pipeline's own
+		// graceful shutdown: in-flight scrapes finish, new ones are refused.
+		defer func() {
+			shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shctx); err != nil {
+				logger.Warn("telemetry server shutdown", "error", err.Error())
+			}
+		}()
 	}
 
 	src, vocab, closeSrc, err := buildSource(*input, *gen, *n, *seed, stdin)
@@ -178,7 +265,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		store.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "butterfly: "+format+"\n", args...)
+			logger.Warn(fmt.Sprintf(format, args...))
 		}
 	}
 	if *resume {
@@ -187,11 +274,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		if snap == nil {
-			fmt.Fprintf(os.Stderr, "butterfly: -resume: no usable checkpoint in %s; starting from the beginning\n",
-				*checkpointDir)
+			logger.Warn("no usable checkpoint; starting from the beginning", "dir", *checkpointDir)
 		} else {
-			fmt.Fprintf(os.Stderr, "butterfly: resuming from %s (record %d, %d windows published)\n",
-				path, snap.Records, snap.Published)
+			logger.Info("resuming from checkpoint",
+				"path", path, "record", snap.Records, "published", snap.Published)
 			resumeSnap = snap
 		}
 	}
@@ -221,6 +307,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		CheckpointKeep:  *checkpointKeep,
 		Checkpoints:     store,
 		Resume:          resumeSnap,
+		Metrics:         reg,
 	})
 	if err != nil {
 		return err
@@ -253,7 +340,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		case <-ctx.Done():
 			return
 		}
-		fmt.Fprintln(os.Stderr, "butterfly: interrupt — draining in-flight windows (interrupt again to abort)")
+		logger.Info("interrupt — draining in-flight windows (interrupt again to abort)")
 		drain.Stop()
 		select {
 		case <-sigc:
@@ -273,30 +360,50 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		// A drain interrupt before the window ever filled is a deliberate
 		// partial run, not a stream defect — fall through to the summary.
 		if !(drain.Stopped() && errors.Is(err, pipeline.ErrShortStream)) {
-			if rep != nil && rep.Records > 0 {
-				fmt.Fprintf(os.Stderr, "butterfly: aborting after %d window(s) over %d records\n",
-					rep.Published, rep.Records)
-			}
+			logger.Error("aborting", "error", err.Error())
+			// The aborted-run summary prints the SAME counters as a clean
+			// run — sourced from the telemetry registry, so the two paths
+			// cannot diverge and bad-record/retry counts are never lost.
+			printSummary(stdout, reg, rep, "aborted")
 			return err
 		}
 	}
+	status := ""
 	if drain.Stopped() {
-		fmt.Fprintf(stdout, "# interrupted: the summary reflects a partial stream\n")
+		status = "interrupted"
 	}
-	fmt.Fprintf(stdout, "# %d window(s) published over %d records\n", rep.Published, rep.Records)
-	if rep.BadRecords > 0 {
-		fmt.Fprintf(stdout, "# %d malformed record(s) skipped\n", rep.BadRecords)
-		for _, b := range rep.Quarantined {
-			fmt.Fprintf(stdout, "#   %s\n", b.String())
+	printSummary(stdout, reg, rep, status)
+	return nil
+}
+
+// printSummary renders the end-of-run summary block from the telemetry
+// registry — the single source the clean, signal-drained and aborted exits
+// all share. Only the quarantine detail lines come from the Report (the
+// registry holds counts, not line text). status is "" for a clean run,
+// "interrupted" for a signal drain, "aborted" for a failed run.
+func printSummary(w io.Writer, reg *telemetry.Registry, rep *pipeline.Report, status string) {
+	switch status {
+	case "interrupted":
+		fmt.Fprintf(w, "# interrupted: the summary reflects a partial stream\n")
+	case "aborted":
+		fmt.Fprintf(w, "# aborted: the summary reflects a partial stream\n")
+	}
+	fmt.Fprintf(w, "# %d window(s) published over %d records\n",
+		reg.CounterValue(pipeline.MetricWindows), reg.CounterValue(pipeline.MetricRecords))
+	if bad := reg.CounterValue(pipeline.MetricBadRecords); bad > 0 {
+		fmt.Fprintf(w, "# %d malformed record(s) skipped\n", bad)
+		if rep != nil {
+			for _, b := range rep.Quarantined {
+				fmt.Fprintf(w, "#   %s\n", b.String())
+			}
 		}
 	}
-	if rep.Retries > 0 {
-		fmt.Fprintf(stdout, "# %d transient failure(s) absorbed by retries\n", rep.Retries)
+	if retries := reg.CounterValue(pipeline.MetricRetries); retries > 0 {
+		fmt.Fprintf(w, "# %d transient failure(s) absorbed by retries\n", retries)
 	}
-	if rep.Checkpoints > 0 {
-		fmt.Fprintf(stdout, "# %d checkpoint(s) written\n", rep.Checkpoints)
+	if ckpts := reg.CounterValue(pipeline.MetricCheckpoints); ckpts > 0 {
+		fmt.Fprintf(w, "# %d checkpoint(s) written\n", ckpts)
 	}
-	return nil
 }
 
 // dumpWindow writes one published window in the audit format, surfacing

@@ -93,6 +93,13 @@ type Publisher struct {
 
 	optDur     time.Duration
 	perturbDur time.Duration
+
+	// Observability (see telemetry.go): the registered instrument set and
+	// the rolling ring behind the §V-C posture gauges. nil metrics disables
+	// recording; none of it influences published values.
+	metrics  *pubMetrics
+	roll     [privacyRollWindows]windowPosture
+	rollNext int
 }
 
 // publishChunkClasses is the number of FECs per perturbation chunk in the
@@ -155,7 +162,9 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 	classes := fec.Partition(res)
 	t0 := time.Now()
 	biases, err := pub.biasesFor(classes)
-	pub.optDur += time.Since(t0)
+	optTook := time.Since(t0)
+	pub.optDur += optTook
+	pub.recordBiasOpt(optTook)
 	if err != nil {
 		return nil, err
 	}
@@ -170,16 +179,18 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 		Items:      make([]PublishedItemset, 0, fec.TotalMembers(classes)),
 		byKey:      make(map[string]int, fec.TotalMembers(classes)),
 	}
+	var hits, misses int
 	if pub.workers > 1 {
 		savedSrc := *pub.src
-		if err := pub.perturbChunked(out, classes, biases, half); err != nil {
+		hits, misses, err = pub.perturbChunked(out, classes, biases, half)
+		if err != nil {
 			// Roll back so a retry redraws the identical perturbation.
 			*pub.src = savedSrc
 			pub.window--
 			return nil, err
 		}
 	} else {
-		pub.perturbSequential(out, classes, biases, half)
+		hits, misses = pub.perturbSequential(out, classes, biases, half)
 	}
 	sort.Slice(out.Items, func(i, j int) bool {
 		a, b := out.Items[i], out.Items[j]
@@ -192,14 +203,19 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 		return a.Set.Key() < b.Set.Key()
 	})
 	pub.sweepCache()
+	// Observability, strictly after the output is final: cache traffic and
+	// the window's §V-C posture (telemetry.go). No-ops without a registry.
+	pub.recordCache(hits, misses)
+	pub.recordPosture(classes, out)
 	return out, nil
 }
 
 // perturbSequential is the historical perturbation loop: one RNG stream,
 // consumed class by class in support order. Its draw order — and therefore
 // its output for a fixed seed — is frozen; the byte-compatibility of
-// workers=1 publication with pre-parallel releases depends on it.
-func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases []int, half int) {
+// workers=1 publication with pre-parallel releases depends on it. The
+// returned hit/miss tally feeds the cache-traffic telemetry.
+func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases []int, half int) (hits, misses int) {
 	for ci, class := range classes {
 		// One shared draw per FEC keeps intra-class equality (optimized
 		// schemes); the basic scheme redraws per itemset.
@@ -209,10 +225,13 @@ func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases
 			var sanitized int
 			if e, ok := pub.cache[key]; ok && !pub.cacheDisabled && e.trueSupport == class.Support {
 				sanitized = e.sanitized
+				hits++
 			} else if pub.scheme.SharedDraws() {
 				sanitized = class.Support + sharedOffset
+				misses++
 			} else {
 				sanitized = class.Support + biases[ci] + pub.src.IntRange(-half, half)
+				misses++
 			}
 			pub.cache[key] = cacheEntry{
 				trueSupport: class.Support,
@@ -223,6 +242,7 @@ func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases
 			out.byKey[key] = sanitized
 		}
 	}
+	return hits, misses
 }
 
 // chunkItem is one perturbed itemset produced by a parallel chunk, carrying
@@ -244,12 +264,14 @@ type chunkItem struct {
 // writes only after wg.Wait), which keeps the path race-free.
 // It returns an error — without writing any cache entry — if a worker
 // panicked, so Publish can roll the publisher state back and stay
-// retry-safe.
-func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []int, half int) error {
+// retry-safe. The hit/miss tally is taken during the single-goroutine
+// fan-in, where the cache still holds its pre-window content, so it equals
+// the decisions the workers made against that same read-only view.
+func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []int, half int) (hits, misses int, err error) {
 	windowSeed := pub.src.Uint64()
 	nChunks := (len(classes) + publishChunkClasses - 1) / publishChunkClasses
 	if nChunks == 0 {
-		return nil
+		return 0, 0, nil
 	}
 	workers := pub.workers
 	if workers > nChunks {
@@ -317,11 +339,16 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 	}
 	wg.Wait()
 	if panicErr != nil {
-		return panicErr
+		return 0, 0, panicErr
 	}
 
 	for _, local := range perChunk {
 		for _, it := range local {
+			if e, ok := pub.cache[it.key]; ok && !pub.cacheDisabled && e.trueSupport == it.trueSupport {
+				hits++
+			} else {
+				misses++
+			}
 			pub.cache[it.key] = cacheEntry{
 				trueSupport: it.trueSupport,
 				sanitized:   it.sanitized,
@@ -331,7 +358,7 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 			out.byKey[it.key] = it.sanitized
 		}
 	}
-	return nil
+	return hits, misses, nil
 }
 
 // SetWorkers selects the perturbation path of subsequent Publish calls.
@@ -376,6 +403,7 @@ func (pub *Publisher) biasesFor(classes []fec.Class) ([]int, error) {
 	}
 	if pub.lastBiases != nil && sameLadder(ladder, pub.lastLadder) {
 		pub.biasReuses++
+		pub.recordBiasReuse()
 		return pub.lastBiases, nil
 	}
 	biases := pub.scheme.Biases(classes, pub.params)

@@ -1,0 +1,165 @@
+package pipeline
+
+// This file wires the supervised pipeline into the telemetry registry:
+// one pre-registered instrument per stage signal, recorded through nil-safe
+// methods so a run without telemetry (Config.Metrics == nil) pays a single
+// pointer test per event. Everything recorded here is observational —
+// wall-times, counts and sizes of work the pipeline was doing anyway; the
+// A/B identity tests pin published bytes equal with metrics on and off.
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Pipeline metric names (see OBSERVABILITY.md for the full reference).
+const (
+	MetricRecords       = "butterfly_records_total"
+	MetricBadRecords    = "butterfly_bad_records_total"
+	MetricWindows       = "butterfly_windows_published_total"
+	MetricRetries       = "butterfly_retries_total"
+	MetricPanics        = "butterfly_panics_recovered_total"
+	MetricWatchdogTrips = "butterfly_watchdog_trips_total"
+	MetricCheckpoints   = "butterfly_checkpoints_total"
+	MetricCkptSave      = "butterfly_checkpoint_save_seconds"
+	MetricResumeSeconds = "butterfly_resume_seconds"
+	MetricStageSeconds  = "butterfly_stage_seconds"
+	MetricWindowSets    = "butterfly_window_itemsets"
+)
+
+// pipeMetrics holds the pipeline's registered instruments. A nil
+// *pipeMetrics disables recording.
+type pipeMetrics struct {
+	records       *telemetry.Counter
+	badRecords    *telemetry.Counter
+	windows       *telemetry.Counter
+	sourceRetries *telemetry.Counter
+	emitRetries   *telemetry.Counter
+	panics        *telemetry.Counter
+	watchdogTrips *telemetry.Counter
+	checkpoints   *telemetry.Counter
+
+	mineDur    *telemetry.Histogram
+	perturbDur *telemetry.Histogram
+	emitDur    *telemetry.Histogram
+	ckptSave   *telemetry.Histogram
+	resumeDur  *telemetry.Gauge
+	windowSets *telemetry.Gauge
+}
+
+// newPipeMetrics registers the pipeline instrument set on reg; nil reg
+// yields nil (recording disabled). Registration is idempotent, so repeated
+// runs over one registry accumulate rather than conflict.
+func newPipeMetrics(reg *telemetry.Registry) *pipeMetrics {
+	if reg == nil {
+		return nil
+	}
+	stage := func(name string) *telemetry.Histogram {
+		return reg.Histogram(MetricStageSeconds,
+			"Per-window wall time of each pipeline stage (mine includes record ingest).",
+			nil, telemetry.Labels{"stage": name})
+	}
+	return &pipeMetrics{
+		records: reg.Counter(MetricRecords,
+			"Well-formed records consumed from the source.", nil),
+		badRecords: reg.Counter(MetricBadRecords,
+			"Malformed records skipped and quarantined against the bad-record budget.", nil),
+		windows: reg.Counter(MetricWindows,
+			"Sanitized windows delivered to the emit sink.", nil),
+		sourceRetries: reg.Counter(MetricRetries,
+			"Retry attempts after transient failures, by operation.",
+			telemetry.Labels{"op": "source"}),
+		emitRetries: reg.Counter(MetricRetries,
+			"Retry attempts after transient failures, by operation.",
+			telemetry.Labels{"op": "emit"}),
+		panics: reg.Counter(MetricPanics,
+			"Panics recovered from stages, sources and sinks.", nil),
+		watchdogTrips: reg.Counter(MetricWatchdogTrips,
+			"Per-window watchdog expirations (each fails the run).", nil),
+		checkpoints: reg.Counter(MetricCheckpoints,
+			"Crash-safe snapshots written.", nil),
+		mineDur:    stage("mine"),
+		perturbDur: stage("perturb"),
+		emitDur:    stage("emit"),
+		ckptSave: reg.Histogram(MetricCkptSave,
+			"Checkpoint save latency (encode + fsync + rename + prune).", nil, nil),
+		resumeDur: reg.Gauge(MetricResumeSeconds,
+			"Wall time of the last checkpoint restore, including source fast-forward.", nil),
+		windowSets: reg.Gauge(MetricWindowSets,
+			"Published itemsets in the most recent window.", nil),
+	}
+}
+
+func (m *pipeMetrics) addRecord() {
+	if m != nil {
+		m.records.Inc()
+	}
+}
+
+func (m *pipeMetrics) addBadRecord() {
+	if m != nil {
+		m.badRecords.Inc()
+	}
+}
+
+func (m *pipeMetrics) addWindow(itemsets int) {
+	if m != nil {
+		m.windows.Inc()
+		m.windowSets.Set(float64(itemsets))
+	}
+}
+
+func (m *pipeMetrics) addRetry(op string) {
+	if m == nil {
+		return
+	}
+	if op == "source" {
+		m.sourceRetries.Inc()
+	} else {
+		m.emitRetries.Inc()
+	}
+}
+
+func (m *pipeMetrics) addPanic() {
+	if m != nil {
+		m.panics.Inc()
+	}
+}
+
+func (m *pipeMetrics) addWatchdogTrip() {
+	if m != nil {
+		m.watchdogTrips.Inc()
+	}
+}
+
+func (m *pipeMetrics) addCheckpoint(took time.Duration) {
+	if m != nil {
+		m.checkpoints.Inc()
+		m.ckptSave.Observe(took.Seconds())
+	}
+}
+
+func (m *pipeMetrics) observeStage(h func(*pipeMetrics) *telemetry.Histogram, took time.Duration) {
+	if m != nil {
+		h(m).Observe(took.Seconds())
+	}
+}
+
+func (m *pipeMetrics) observeMine(took time.Duration) {
+	m.observeStage(func(m *pipeMetrics) *telemetry.Histogram { return m.mineDur }, took)
+}
+
+func (m *pipeMetrics) observePerturb(took time.Duration) {
+	m.observeStage(func(m *pipeMetrics) *telemetry.Histogram { return m.perturbDur }, took)
+}
+
+func (m *pipeMetrics) observeEmit(took time.Duration) {
+	m.observeStage(func(m *pipeMetrics) *telemetry.Histogram { return m.emitDur }, took)
+}
+
+func (m *pipeMetrics) observeResume(took time.Duration) {
+	if m != nil {
+		m.resumeDur.Set(took.Seconds())
+	}
+}

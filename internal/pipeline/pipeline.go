@@ -32,6 +32,13 @@
 // the chunked RNG; every worker count >= 2 publishes identical output for a
 // fixed seed. Stage overlap, retries, and skipped bad records never change
 // published values at any worker count.
+//
+// Observability (see metrics.go): when Config.Metrics carries a
+// telemetry.Registry, the pipeline records per-stage wall-time histograms,
+// throughput/retry/quarantine/watchdog counters and checkpoint timings, and
+// the publisher adds cache and rolling §V-C posture instruments.
+// Instrumentation is strictly observation-only — the A/B identity test pins
+// published bytes identical with telemetry on or off at every worker tier.
 package pipeline
 
 import (
@@ -47,6 +54,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/telemetry"
 )
 
 // Config assembles a publication pipeline.
@@ -115,6 +123,13 @@ type Config struct {
 	// byte-identically to an uninterrupted run. The snapshot's
 	// configuration fingerprint must match this Config.
 	Resume *checkpoint.Snapshot
+
+	// Metrics, when non-nil, receives the run's telemetry: per-stage
+	// wall-time histograms, record/retry/quarantine/checkpoint counters,
+	// and the publisher's cache and §V-C posture gauges (see
+	// OBSERVABILITY.md). Telemetry is observation-only — published output
+	// is byte-identical with Metrics set or nil at every worker count.
+	Metrics *telemetry.Registry
 }
 
 // fingerprint is the configuration identity a snapshot is bound to; resume
@@ -299,6 +314,9 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 		workers = 1
 	}
 	stream.Publisher().SetWorkers(workers)
+	if p.cfg.Metrics != nil {
+		stream.Publisher().SetMetrics(p.cfg.Metrics)
+	}
 
 	run := newRunState(ctx, p.cfg)
 	defer run.cancel()
@@ -316,7 +334,9 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 	if rs := p.cfg.Resume; rs != nil {
 		// Restore before any stage starts: rebuild the miner from the
 		// snapshot's window buffer, restore the publisher, and let the mine
-		// loop fast-forward the source past the consumed prefix.
+		// loop fast-forward the source past the consumed prefix. The resume
+		// gauge spans from here to the end of that fast-forward.
+		run.resumeStart = time.Now()
 		if err := p.cfg.verifyResume(rs); err != nil {
 			return nil, err
 		}
@@ -390,6 +410,7 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		lastPub = skip
 		published = rs.Published
 	}
+	windowStart := time.Now() // start of the current window's ingest+mine span
 	for {
 		if r.ctx.Err() != nil {
 			return
@@ -405,6 +426,11 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		pos++
 		r.addRecord()
 		if pos <= skip {
+			if pos == skip {
+				// Fast-forward complete: the resume gauge covers restore
+				// plus the replayed prefix.
+				r.metrics.observeResume(time.Since(r.resumeStart))
+			}
 			continue
 		}
 		stream.Push(rec)
@@ -419,9 +445,15 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 			continue
 		}
 		published++
-		if !sendOrDone(r, mined, r.newMined(stream, pos, published, false)) {
+		m := r.newMined(stream, pos, published, false)
+		// The mine-stage observation ends when the snapshot is materialized,
+		// BEFORE the (possibly backpressured) hand-off to perturb — it
+		// measures mining work, not downstream congestion.
+		r.metrics.observeMine(time.Since(windowStart))
+		if !sendOrDone(r, mined, m) {
 			return
 		}
+		windowStart = time.Now()
 		lastPub = pos
 	}
 	if r.ctx.Err() != nil {
@@ -441,7 +473,9 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		// The final window always checkpoints (when checkpointing is on):
 		// this is the graceful-drain snapshot a restarted service resumes
 		// from.
-		sendOrDone(r, mined, r.newMined(stream, pos, published, true))
+		m := r.newMined(stream, pos, published, true)
+		r.metrics.observeMine(time.Since(windowStart))
+		sendOrDone(r, mined, m)
 	}
 }
 
@@ -507,7 +541,7 @@ func (r *runState) nextRecord(src RecordSource) (itemset.Itemset, error) {
 				"pipeline: record source failed after %d retries: %w", attempts, err)
 		}
 		attempts++
-		r.addRetry()
+		r.addRetry("source")
 		backoff := r.cfg.EmitBackoff
 		if backoff <= 0 {
 			backoff = defaultBackoff
@@ -536,6 +570,7 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			return
 		}
 		var out *core.Output
+		t0 := time.Now()
 		err := r.watchdog("perturbation", m.position, func() error {
 			if cfg.Raw {
 				out = core.NewRawOutput(m.res, cfg.WindowSize)
@@ -545,6 +580,7 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			out, e = stream.Publisher().Publish(m.res, cfg.WindowSize)
 			return e
 		})
+		r.metrics.observePerturb(time.Since(t0))
 		if err != nil {
 			r.fail(fmt.Errorf("pipeline: perturbing window at position %d: %w", m.position, err))
 			return
@@ -572,24 +608,29 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 			continue // drain so the perturb stage never blocks on us
 		}
 		w := w
+		t0 := time.Now()
 		err := r.watchdog("emission", w.Position, func() error {
 			return r.withRetries(fmt.Sprintf("emitting window at position %d", w.Position),
 				func() error { return emit(w) })
 		})
+		r.metrics.observeEmit(time.Since(t0))
 		if err != nil {
 			r.fail(err)
 			continue
 		}
 		r.addPublished()
+		r.metrics.addWindow(w.Output.Len())
 		if w.ckpt != nil {
 			// Persist only after the window is delivered: a crash between
 			// emit and save merely re-emits from the previous generation,
 			// and the republication cache re-serves identical values.
+			t0 := time.Now()
 			if err := r.ckpts.Save(w.ckpt); err != nil {
 				r.fail(fmt.Errorf("pipeline: checkpointing window at position %d: %w", w.Position, err))
 				continue
 			}
 			r.addCheckpoint()
+			r.metrics.addCheckpoint(time.Since(t0))
 		}
 	}
 }

@@ -106,6 +106,12 @@ type runState struct {
 	ckptEvery int
 	resume    *checkpoint.Snapshot
 
+	// Observability: the registered instrument set (nil without a
+	// Config.Metrics registry; every recording method is nil-safe) and the
+	// moment the resume restore began (drives the resume-duration gauge).
+	metrics     *pipeMetrics
+	resumeStart time.Time
+
 	mu     sync.Mutex
 	err    error
 	report Report
@@ -113,7 +119,7 @@ type runState struct {
 
 func newRunState(ctx context.Context, cfg Config) *runState {
 	rctx, cancel := context.WithCancel(ctx)
-	return &runState{cfg: cfg, ctx: rctx, cancel: cancel}
+	return &runState{cfg: cfg, ctx: rctx, cancel: cancel, metrics: newPipeMetrics(cfg.Metrics)}
 }
 
 // fail records err as the run's failure — the first caller wins, every
@@ -150,16 +156,42 @@ func (r *runState) snapshot() *Report {
 	return &rep
 }
 
-func (r *runState) addRecord()     { r.mu.Lock(); r.report.Records++; r.mu.Unlock() }
-func (r *runState) addPublished()  { r.mu.Lock(); r.report.Published++; r.mu.Unlock() }
+// The add* methods keep the Report and the telemetry counters in lockstep:
+// both are written at the same call sites, so the CLI summary (sourced from
+// telemetry) and the Report can never disagree.
+
+func (r *runState) addRecord() {
+	r.mu.Lock()
+	r.report.Records++
+	r.mu.Unlock()
+	r.metrics.addRecord()
+}
+
+func (r *runState) addPublished() { r.mu.Lock(); r.report.Published++; r.mu.Unlock() }
+
 func (r *runState) addCheckpoint() { r.mu.Lock(); r.report.Checkpoints++; r.mu.Unlock() }
-func (r *runState) addRetry()      { r.mu.Lock(); r.report.Retries++; r.mu.Unlock() }
-func (r *runState) addPanic()      { r.mu.Lock(); r.report.PanicsRecovered++; r.mu.Unlock() }
+
+// addRetry counts one retry attempt; op is "source" or "emit" and selects
+// the labeled telemetry series (the Report pools both).
+func (r *runState) addRetry(op string) {
+	r.mu.Lock()
+	r.report.Retries++
+	r.mu.Unlock()
+	r.metrics.addRetry(op)
+}
+
+func (r *runState) addPanic() {
+	r.mu.Lock()
+	r.report.PanicsRecovered++
+	r.mu.Unlock()
+	r.metrics.addPanic()
+}
 
 // recordBad counts one malformed record against the budget and quarantines
 // it. It reports false when the budget is exhausted (MaxBadRecords == 0
 // fails on the first bad record; < 0 is unlimited).
 func (r *runState) recordBad(b BadRecord) (ok bool) {
+	r.metrics.addBadRecord()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.report.BadRecords++
@@ -217,7 +249,7 @@ func (r *runState) withRetries(what string, op func() error) error {
 		if attempt >= r.cfg.EmitRetries {
 			return fmt.Errorf("pipeline: %s failed after %d retries: %w", what, attempt, err)
 		}
-		r.addRetry()
+		r.addRetry("emit")
 		select {
 		case <-time.After(backoff):
 		case <-r.ctx.Done():
@@ -240,6 +272,7 @@ func (r *runState) watchdog(stage string, position int, f func() error) error {
 		return f()
 	}
 	tm := time.AfterFunc(r.cfg.WindowTimeout, func() {
+		r.metrics.addWatchdogTrip()
 		r.fail(fmt.Errorf("pipeline: %s of window at position %d exceeded the %v watchdog",
 			stage, position, r.cfg.WindowTimeout))
 	})

@@ -1,0 +1,49 @@
+package telemetry_test
+
+import (
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Example registers one instrument of each kind, records a few events, and
+// renders the registry in the Prometheus text format — the payload the
+// CLI's -telemetry-addr serves at /metrics.
+func Example() {
+	reg := telemetry.NewRegistry()
+
+	windows := reg.Counter("example_windows_total", "Windows published.", nil)
+	retries := reg.Counter("example_retries_total", "Retries by operation.",
+		telemetry.Labels{"op": "emit"})
+	depth := reg.Gauge("example_queue_depth", "In-flight windows.", nil)
+	latency := reg.Histogram("example_latency_seconds", "Publish latency.",
+		[]float64{0.01, 0.1, 1}, nil)
+
+	for i := 0; i < 3; i++ {
+		windows.Inc()
+		latency.Observe(0.02)
+	}
+	retries.Inc()
+	depth.Set(2)
+
+	_ = reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # HELP example_latency_seconds Publish latency.
+	// # TYPE example_latency_seconds histogram
+	// example_latency_seconds_bucket{le="0.01"} 0
+	// example_latency_seconds_bucket{le="0.1"} 3
+	// example_latency_seconds_bucket{le="1"} 3
+	// example_latency_seconds_bucket{le="+Inf"} 3
+	// example_latency_seconds_sum 0.06
+	// example_latency_seconds_count 3
+	// # HELP example_queue_depth In-flight windows.
+	// # TYPE example_queue_depth gauge
+	// example_queue_depth 2
+	// # HELP example_retries_total Retries by operation.
+	// # TYPE example_retries_total counter
+	// example_retries_total{op="emit"} 1
+	// # HELP example_windows_total Windows published.
+	// # TYPE example_windows_total counter
+	// example_windows_total 3
+	//
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+// HTTP exposition: the handlers behind the CLI's -telemetry-addr. The mux
+// deliberately reuses only the standard library — net/http/pprof gives the
+// live-profiling endpoints, and the /metrics and /debug/vars handlers
+// render straight off the lock-free registry, so scraping never perturbs
+// the pipeline beyond the cost of reading atomics.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry snapshot as JSON (the /debug/vars page).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Mux returns the operator endpoint set:
+//
+//	/metrics           Prometheus text format
+//	/debug/vars        JSON snapshot of the same registry
+//	/debug/pprof/...   net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// pprof is registered explicitly on this private mux — the CLI never
+// exposes http.DefaultServeMux, so importing net/http/pprof here does not
+// leak profiling endpoints onto any other server in the process.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
