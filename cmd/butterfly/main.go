@@ -21,12 +21,16 @@
 // aborts immediately.
 //
 // Observability: -telemetry-addr HOST:PORT serves /metrics (Prometheus text
-// format), /debug/vars (JSON snapshot of the same registry) and
-// net/http/pprof on a private mux, covering per-stage latency, retry and
-// quarantine counters, checkpoint cadence and the live privacy/utility
-// posture (see OBSERVABILITY.md). -log-json switches the stderr status
-// lines to structured JSON (log/slog). Telemetry is observation-only:
-// published output is byte-identical with it on or off.
+// format), /debug/vars (JSON snapshot of the same registry),
+// /debug/trace/events (the per-window flight recorder as Chrome trace-event
+// JSON, loadable in Perfetto) and net/http/pprof on a private mux, covering
+// per-stage latency, retry and quarantine counters, checkpoint cadence and
+// the live privacy/utility posture (see OBSERVABILITY.md). -trace-out FILE
+// writes the same trace JSON at exit — on graceful drain, abort and resume
+// failure alike — retaining the last -trace-windows windows plus the
+// slowest-window exemplars. -log-json switches the stderr status lines to
+// structured JSON (log/slog). Telemetry and tracing are observation-only:
+// published output is byte-identical with them on or off.
 //
 // Each published window prints the top itemsets with SANITIZED supports —
 // the only supports that ever leave the system.
@@ -53,6 +57,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // statusLogger renders the CLI's operator-facing status lines: plain
@@ -111,6 +116,7 @@ type flagValues struct {
 	checkpointEvery, checkpointKeep int
 	resume                          bool
 	input                           string
+	traceWindows                    int
 }
 
 // validateFlags rejects flag values that would otherwise surface as
@@ -159,6 +165,9 @@ func validateFlags(v flagValues) error {
 	if v.resume && v.input == "-" {
 		return fmt.Errorf("-resume cannot replay stdin; use a file -input or a -gen stream")
 	}
+	if v.traceWindows < 1 {
+		return fmt.Errorf("-trace-windows %d must be >= 1", v.traceWindows)
+	}
 	return nil
 }
 
@@ -197,7 +206,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		checkpointEvry = fs.Int("checkpoint-every", 16, "published windows between checkpoints (with -checkpoint-dir)")
 		checkpointKeep = fs.Int("checkpoint-keep", 3, "checkpoint generations to retain (with -checkpoint-dir)")
 		resume         = fs.Bool("resume", false, "resume from the newest usable checkpoint in -checkpoint-dir")
-		telemetryAddr  = fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on HOST:PORT (empty: off)")
+		telemetryAddr  = fs.String("telemetry-addr", "", "serve /metrics, /debug/vars, /debug/trace/events and /debug/pprof on HOST:PORT (empty: off)")
+		traceOut       = fs.String("trace-out", "", "write the per-window trace as Chrome trace-event JSON to FILE at exit (Perfetto-loadable)")
+		traceWindows   = fs.Int("trace-windows", trace.DefaultWindows, "windows retained by the in-process flight recorder")
 		logJSON        = fs.Bool("log-json", false, "emit status lines as structured JSON (log/slog) on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -209,7 +220,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxBadRecords: *maxBadRecords, emitRetries: *emitRetries,
 		windowTimeout: *windowTimeout, checkpointDir: *checkpointDir,
 		checkpointEvery: *checkpointEvry, checkpointKeep: *checkpointKeep,
-		resume: *resume, input: *input,
+		resume: *resume, input: *input, traceWindows: *traceWindows,
 	}); err != nil {
 		return err
 	}
@@ -217,14 +228,45 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	// The telemetry registry always exists — the end-of-run summary is
 	// sourced from it, whether or not it is served over HTTP — so the
-	// normal and interrupted summary paths read the same counters.
+	// normal and interrupted summary paths read the same counters. The
+	// flight recorder exists whenever anything can read it: a -trace-out
+	// file, or the live /debug/trace/events endpoint.
 	reg := telemetry.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceOut != "" || *telemetryAddr != "" {
+		tracer = trace.New(trace.Options{Windows: *traceWindows})
+		tracer.SetMetrics(reg)
+	}
+	// Flush the trace file on EVERY exit path — graceful drain, signal
+	// abort, resume failure, pipeline error — mirroring the summary fix
+	// that stopped aborted runs from dropping counters. The deferred flush
+	// runs after the summary prints; WriteChromeFile syncs before close so
+	// the dump survives the process exiting right after.
+	defer func() {
+		if tracer == nil || *traceOut == "" {
+			return
+		}
+		if err := tracer.WriteChromeFile(*traceOut); err != nil {
+			logger.Error("trace flush failed", "path", *traceOut, "error", err.Error())
+			return
+		}
+		logger.Info("trace written", "path", *traceOut)
+	}()
 	if *telemetryAddr != "" {
 		ln, err := net.Listen("tcp", *telemetryAddr)
 		if err != nil {
 			return fmt.Errorf("-telemetry-addr: %w", err)
 		}
-		srv := &http.Server{Handler: reg.Mux()}
+		mux := reg.Mux()
+		mux.Handle("/debug/trace/events", tracer.Handler())
+		// Slow-loris hardening: a client trickling its header or idling on
+		// a kept-alive connection cannot pin the server open past the
+		// graceful drain below.
+		srv := &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		logger.Info("telemetry listening", "addr", ln.Addr().String())
 		if telemetryStarted != nil {
 			telemetryStarted(ln.Addr().String())
@@ -308,6 +350,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Checkpoints:     store,
 		Resume:          resumeSnap,
 		Metrics:         reg,
+		Trace:           tracer,
 	})
 	if err != nil {
 		return err
@@ -364,7 +407,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			// The aborted-run summary prints the SAME counters as a clean
 			// run — sourced from the telemetry registry, so the two paths
 			// cannot diverge and bad-record/retry counts are never lost.
-			printSummary(stdout, reg, rep, "aborted")
+			printSummary(stdout, reg, rep, "aborted", *traceOut)
 			return err
 		}
 	}
@@ -372,7 +415,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if drain.Stopped() {
 		status = "interrupted"
 	}
-	printSummary(stdout, reg, rep, status)
+	printSummary(stdout, reg, rep, status, *traceOut)
 	return nil
 }
 
@@ -380,8 +423,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // registry — the single source the clean, signal-drained and aborted exits
 // all share. Only the quarantine detail lines come from the Report (the
 // registry holds counts, not line text). status is "" for a clean run,
-// "interrupted" for a signal drain, "aborted" for a failed run.
-func printSummary(w io.Writer, reg *telemetry.Registry, rep *pipeline.Report, status string) {
+// "interrupted" for a signal drain, "aborted" for a failed run; tracePath
+// names the -trace-out file flushed at exit ("" when tracing to a file is
+// off).
+func printSummary(w io.Writer, reg *telemetry.Registry, rep *pipeline.Report, status, tracePath string) {
 	switch status {
 	case "interrupted":
 		fmt.Fprintf(w, "# interrupted: the summary reflects a partial stream\n")
@@ -403,6 +448,9 @@ func printSummary(w io.Writer, reg *telemetry.Registry, rep *pipeline.Report, st
 	}
 	if ckpts := reg.CounterValue(pipeline.MetricCheckpoints); ckpts > 0 {
 		fmt.Fprintf(w, "# %d checkpoint(s) written\n", ckpts)
+	}
+	if tracePath != "" {
+		fmt.Fprintf(w, "# trace: %s\n", tracePath)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // PublishedItemset is one sanitized entry of the released mining output.
@@ -96,8 +97,11 @@ type Publisher struct {
 
 	// Observability (see telemetry.go): the registered instrument set and
 	// the rolling ring behind the §V-C posture gauges. nil metrics disables
-	// recording; none of it influences published values.
+	// recording; none of it influences published values. tr is the current
+	// window's flight-recorder trace (SetTrace), receiving the
+	// bias-optimization and republication-cache child spans.
 	metrics  *pubMetrics
+	tr       *trace.Window
 	roll     [privacyRollWindows]windowPosture
 	rollNext int
 }
@@ -160,11 +164,14 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 		return nil, fmt.Errorf("core: nil mining result")
 	}
 	classes := fec.Partition(res)
+	reusesBefore := pub.biasReuses
 	t0 := time.Now()
 	biases, err := pub.biasesFor(classes)
 	optTook := time.Since(t0)
 	pub.optDur += optTook
 	pub.recordBiasOpt(optTook)
+	pub.tr.Add(trace.KindBiasOpt, t0, optTook).
+		Attr(trace.AttrBiasReused, int64(pub.biasReuses-reusesBefore))
 	if err != nil {
 		return nil, err
 	}
@@ -204,9 +211,14 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 	})
 	pub.sweepCache()
 	// Observability, strictly after the output is final: cache traffic and
-	// the window's §V-C posture (telemetry.go). No-ops without a registry.
+	// the window's §V-C posture (telemetry.go), plus the cache child span —
+	// it covers the perturbation interval the cache served, carrying the
+	// hit/miss tally. No-ops without a registry / trace window.
 	pub.recordCache(hits, misses)
 	pub.recordPosture(classes, out)
+	cs := pub.tr.Add(trace.KindCache, t0, time.Since(t0))
+	cs.Attr(trace.AttrCacheHits, int64(hits))
+	cs.Attr(trace.AttrCacheMisses, int64(misses))
 	return out, nil
 }
 
@@ -380,6 +392,14 @@ func (pub *Publisher) SetWorkers(workers int) {
 	}
 	pub.workers = workers
 }
+
+// SetTrace directs the next Publish call's bias-optimization and
+// republication-cache child spans into w, the current window of the
+// in-process flight recorder (nil detaches). Tracing is observation-only —
+// it never influences published values. The pipeline's perturb stage calls
+// this once per window, before Publish, so the spans nest under the right
+// window track.
+func (pub *Publisher) SetTrace(w *trace.Window) { pub.tr = w }
 
 // Workers reports the configured perturbation parallelism (see SetWorkers).
 func (pub *Publisher) Workers() int {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // funcSource adapts a closure to the RecordSource interface (test-only).
@@ -223,9 +224,9 @@ var docMetricName = regexp.MustCompile("^\\| `(butterfly_[a-z0-9_]+)`")
 
 // TestObservabilityDocSync is the doc gate of the acceptance criteria:
 // OBSERVABILITY.md's metric tables and the live registry must list exactly
-// the same names. It registers the FULL instrument set (pipeline and
-// publisher) without running a stream — registration alone defines the
-// namespace.
+// the same names. It registers the FULL instrument set (pipeline, publisher
+// and flight recorder) without running a stream — registration alone
+// defines the namespace.
 func TestObservabilityDocSync(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	if newPipeMetrics(reg) == nil {
@@ -237,6 +238,7 @@ func TestObservabilityDocSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	pub.SetMetrics(reg)
+	trace.New(trace.Options{}).SetMetrics(reg)
 	registered := reg.Names()
 
 	doc, err := os.ReadFile(filepath.Join("..", "..", "OBSERVABILITY.md"))

@@ -55,6 +55,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config assembles a publication pipeline.
@@ -130,6 +131,17 @@ type Config struct {
 	// OBSERVABILITY.md). Telemetry is observation-only — published output
 	// is byte-identical with Metrics set or nil at every worker count.
 	Metrics *telemetry.Registry
+
+	// Trace, when non-nil, records each published window into the
+	// in-process flight recorder: a root span per window with child spans
+	// for source/mine/perturb/emit/checkpoint.save (and resume after a
+	// restart), plus the publisher's bias-optimization and
+	// republication-cache spans, all nested under the window's track (see
+	// internal/trace and OBSERVABILITY.md §Tracing). Like Metrics, tracing
+	// is strictly observation-only — published output is byte-identical
+	// with Trace set or nil at every worker count — and the span hot path
+	// does not allocate after warm-up.
+	Trace *trace.Tracer
 }
 
 // fingerprint is the configuration identity a snapshot is bound to; resume
@@ -186,6 +198,11 @@ type Window struct {
 	// perturb stage the publisher state — so the saved snapshot is a
 	// consistent cut without ever stalling the pipeline on a barrier.
 	ckpt *checkpoint.Snapshot
+	// tr is the window's flight-recorder trace, threaded through the
+	// stages alongside the data and committed by the emit stage (nil when
+	// tracing is off). Like ckpt, it rides the channel hand-off, so each
+	// stage owns it exclusively while recording its spans.
+	tr *trace.Window
 }
 
 // Pipeline is a reusable description of a publication run. Each call to Run
@@ -280,6 +297,8 @@ type minedWindow struct {
 	// ckpt is the partially-filled snapshot when a checkpoint is due after
 	// this window (see Window.ckpt).
 	ckpt *checkpoint.Snapshot
+	// tr is the window's flight-recorder trace (see Window.tr).
+	tr *trace.Window
 }
 
 // Run streams records through the pipeline and calls emit once per published
@@ -411,11 +430,22 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		published = rs.Published
 	}
 	windowStart := time.Now() // start of the current window's ingest+mine span
+	tw := r.tracer.StartWindow()
+	var srcDur time.Duration // time spent inside the source this window
+	var srcRecords int64     // well-formed records ingested this window
 	for {
 		if r.ctx.Err() != nil {
 			return
 		}
-		rec, err := r.nextRecord(src)
+		var rec itemset.Itemset
+		var err error
+		if tw != nil {
+			s0 := time.Now()
+			rec, err = r.nextRecord(src)
+			srcDur += time.Since(s0)
+		} else {
+			rec, err = r.nextRecord(src)
+		}
 		if err == io.EOF {
 			break
 		}
@@ -425,11 +455,14 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		}
 		pos++
 		r.addRecord()
+		srcRecords++
 		if pos <= skip {
 			if pos == skip {
 				// Fast-forward complete: the resume gauge covers restore
-				// plus the replayed prefix.
+				// plus the replayed prefix, and the first traced window
+				// carries the matching resume span.
 				r.metrics.observeResume(time.Since(r.resumeStart))
+				tw.Add(trace.KindResume, r.resumeStart, time.Since(r.resumeStart))
 			}
 			continue
 		}
@@ -449,11 +482,15 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		// The mine-stage observation ends when the snapshot is materialized,
 		// BEFORE the (possibly backpressured) hand-off to perturb — it
 		// measures mining work, not downstream congestion.
-		r.metrics.observeMine(time.Since(windowStart))
+		mineDur := time.Since(windowStart)
+		r.metrics.observeMine(mineDur)
+		m.tr = r.finishMineSpans(tw, windowStart, mineDur, srcDur, srcRecords, pos, m.res.Len())
 		if !sendOrDone(r, mined, m) {
 			return
 		}
 		windowStart = time.Now()
+		tw = r.tracer.StartWindow()
+		srcDur, srcRecords = 0, 0
 		lastPub = pos
 	}
 	if r.ctx.Err() != nil {
@@ -474,7 +511,9 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 		// this is the graceful-drain snapshot a restarted service resumes
 		// from.
 		m := r.newMined(stream, pos, published, true)
-		r.metrics.observeMine(time.Since(windowStart))
+		mineDur := time.Since(windowStart)
+		r.metrics.observeMine(mineDur)
+		m.tr = r.finishMineSpans(tw, windowStart, mineDur, srcDur, srcRecords, pos, m.res.Len())
 		sendOrDone(r, mined, m)
 	}
 }
@@ -570,6 +609,9 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			return
 		}
 		var out *core.Output
+		// Direct the publisher's bias-opt and cache child spans into this
+		// window's trace (a nil m.tr detaches; observation-only either way).
+		stream.Publisher().SetTrace(m.tr)
 		t0 := time.Now()
 		err := r.watchdog("perturbation", m.position, func() error {
 			if cfg.Raw {
@@ -580,8 +622,13 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			out, e = stream.Publisher().Publish(m.res, cfg.WindowSize)
 			return e
 		})
-		r.metrics.observePerturb(time.Since(t0))
+		perturbDur := time.Since(t0)
+		r.metrics.observePerturb(perturbDur)
+		m.tr.Add(trace.KindPerturb, t0, perturbDur)
 		if err != nil {
+			// The failed window still lands in the flight recorder — the
+			// abort-path trace dump should show what was in flight.
+			r.tracer.Commit(m.tr)
 			r.fail(fmt.Errorf("pipeline: perturbing window at position %d: %w", m.position, err))
 			return
 		}
@@ -592,7 +639,7 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			// records its initial state.
 			m.ckpt.Publisher = *stream.Publisher().Snapshot()
 		}
-		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt}) {
+		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt, tr: m.tr}) {
 			return
 		}
 	}
@@ -609,12 +656,19 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 		}
 		w := w
 		t0 := time.Now()
+		var attempts int64
 		err := r.watchdog("emission", w.Position, func() error {
-			return r.withRetries(fmt.Sprintf("emitting window at position %d", w.Position),
-				func() error { return emit(w) })
+			return r.withRetries(fmt.Sprintf("emitting window at position %d", w.Position), w.tr,
+				func() error { attempts++; return emit(w) })
 		})
-		r.metrics.observeEmit(time.Since(t0))
+		emitDur := time.Since(t0)
+		r.metrics.observeEmit(emitDur)
+		sp := w.tr.Add(trace.KindEmit, t0, emitDur)
+		if attempts > 0 {
+			sp.Attr(trace.AttrRetries, attempts-1)
+		}
 		if err != nil {
+			r.tracer.Commit(w.tr)
 			r.fail(err)
 			continue
 		}
@@ -624,13 +678,20 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 			// Persist only after the window is delivered: a crash between
 			// emit and save merely re-emits from the previous generation,
 			// and the republication cache re-serves identical values.
-			t0 := time.Now()
-			if err := r.ckpts.Save(w.ckpt); err != nil {
-				r.fail(fmt.Errorf("pipeline: checkpointing window at position %d: %w", w.Position, err))
+			c0 := time.Now()
+			saveErr := r.ckpts.Save(w.ckpt)
+			saveDur := time.Since(c0)
+			w.tr.Add(trace.KindCheckpointSave, c0, saveDur)
+			if saveErr != nil {
+				r.tracer.Commit(w.tr)
+				r.fail(fmt.Errorf("pipeline: checkpointing window at position %d: %w", w.Position, saveErr))
 				continue
 			}
 			r.addCheckpoint()
-			r.metrics.addCheckpoint(time.Since(t0))
+			r.metrics.addCheckpoint(saveDur)
 		}
+		// The window is fully delivered (and checkpointed when due): commit
+		// its trace to the ring so snapshots and exemplars see it.
+		r.tracer.Commit(w.tr)
 	}
 }

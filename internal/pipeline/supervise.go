@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/trace"
 )
 
 // transientError marks an error as retryable.
@@ -107,9 +108,12 @@ type runState struct {
 	resume    *checkpoint.Snapshot
 
 	// Observability: the registered instrument set (nil without a
-	// Config.Metrics registry; every recording method is nil-safe) and the
-	// moment the resume restore began (drives the resume-duration gauge).
+	// Config.Metrics registry; every recording method is nil-safe), the
+	// flight recorder receiving per-window spans (nil disables tracing;
+	// every trace method is nil-safe too), and the moment the resume
+	// restore began (drives the resume-duration gauge).
 	metrics     *pipeMetrics
+	tracer      *trace.Tracer
 	resumeStart time.Time
 
 	mu     sync.Mutex
@@ -119,7 +123,8 @@ type runState struct {
 
 func newRunState(ctx context.Context, cfg Config) *runState {
 	rctx, cancel := context.WithCancel(ctx)
-	return &runState{cfg: cfg, ctx: rctx, cancel: cancel, metrics: newPipeMetrics(cfg.Metrics)}
+	return &runState{cfg: cfg, ctx: rctx, cancel: cancel,
+		metrics: newPipeMetrics(cfg.Metrics), tracer: cfg.Trace}
 }
 
 // fail records err as the run's failure — the first caller wins, every
@@ -228,16 +233,25 @@ const (
 // transient failures — including recovered panics — with exponential
 // backoff, up to cfg.EmitRetries retry attempts. Backoff sleeps abort
 // early when the run is canceled. Non-transient errors and budget
-// exhaustion return the last error.
-func (r *runState) withRetries(what string, op func() error) error {
+// exhaustion return the last error. When tw is non-nil, every failed
+// attempt is recorded as a retry span on the window's trace (nested under
+// the emit span by time containment), numbered by its attempt.
+func (r *runState) withRetries(what string, tw *trace.Window, op func() error) error {
 	backoff := r.cfg.EmitBackoff
 	if backoff <= 0 {
 		backoff = defaultBackoff
 	}
 	for attempt := 0; ; attempt++ {
+		var a0 time.Time
+		if tw != nil {
+			a0 = time.Now()
+		}
 		err := safeCall(op)
 		if err == nil {
 			return nil
+		}
+		if tw != nil {
+			tw.Add(trace.KindRetry, a0, time.Since(a0)).Attr(trace.AttrAttempt, int64(attempt+1))
 		}
 		var pe *panicError
 		if errors.As(err, &pe) {

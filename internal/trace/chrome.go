@@ -1,0 +1,135 @@
+package trace
+
+// Chrome trace-event export: the flight recorder's snapshot rendered in the
+// Trace Event Format (the JSON that Perfetto and chrome://tracing load).
+// Each window becomes its own track (tid = window id) holding the root span
+// with the stage spans nested inside it by time containment, so the UI
+// shows source/mine/perturb/emit/checkpoint bars per window and retry spans
+// nested under emit. Timestamps are microseconds since the tracer epoch.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// chromeEvent is one entry of the traceEvents array. Args is a map so the
+// encoder emits keys sorted (encoding/json sorts map keys), keeping the
+// output byte-stable for the golden test.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+const chromePid = 1
+
+func micros(d int64) float64 { return float64(d) / 1e3 }
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		args[a.Key] = a.Val
+	}
+	return args
+}
+
+// chromeEvents renders decoded records into trace events.
+func chromeEvents(records []Record) []chromeEvent {
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "butterfly pipeline"},
+	}}
+	for _, rec := range records {
+		root := chromeEvent{
+			Name: fmt.Sprintf("window %d", rec.Window),
+			Cat:  "window",
+			Ph:   "X",
+			Ts:   micros(rec.Start.Nanoseconds()),
+			Dur:  micros(rec.Dur.Nanoseconds()),
+			Pid:  chromePid,
+			Tid:  rec.Window,
+			Args: attrArgs(rec.Attrs),
+		}
+		if rec.Dropped > 0 {
+			if root.Args == nil {
+				root.Args = map[string]any{}
+			}
+			root.Args["dropped_spans"] = int64(rec.Dropped)
+		}
+		events = append(events, root)
+		for _, sp := range rec.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Cat:  "stage",
+				Ph:   "X",
+				Ts:   micros(sp.Start.Nanoseconds()),
+				Dur:  micros(sp.Dur.Nanoseconds()),
+				Pid:  chromePid,
+				Tid:  rec.Window,
+				Args: attrArgs(sp.Attrs),
+			})
+		}
+	}
+	return events
+}
+
+// WriteChrome writes the current snapshot (ring ∪ exemplars) as Chrome
+// trace-event JSON. A nil tracer writes an empty, still-valid trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	trace := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     chromeEvents(t.Snapshot()),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// WriteChromeFile writes the snapshot to path (0644, truncating), syncing
+// before close so the flight-recorder dump survives the process exiting
+// right after — the whole point of dumping on the abort path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Handler serves the snapshot as Chrome trace-event JSON — the
+// /debug/trace/events endpoint. Safe to scrape during a live run: snapshot
+// reads never block the pipeline's span writers.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = t.WriteChrome(w)
+	})
+}

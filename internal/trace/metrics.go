@@ -1,0 +1,84 @@
+package trace
+
+// Telemetry bridge: span durations mirrored into the PR 4 registry so the
+// aggregate view (/metrics) and the per-window view (/debug/trace/events)
+// cross-reference — an operator who sees a fat butterfly_trace_span_seconds
+// bucket pulls the trace and finds the exact windows via the slowest-window
+// exemplars. Mirroring happens once per window at Commit, off the span hot
+// path, and is observation-only like everything else here.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Trace metric names (see OBSERVABILITY.md for the full reference).
+const (
+	// MetricSpanSeconds is a histogram family labeled span=<kind> recording
+	// every committed span's duration, including the root (span="window").
+	MetricSpanSeconds = "butterfly_trace_span_seconds"
+	// MetricSlowestWindow is a gauge holding the slowest root-span duration
+	// committed so far (the top slowest-window exemplar).
+	MetricSlowestWindow = "butterfly_trace_slowest_window_seconds"
+)
+
+// traceMetrics holds the registered instrument set: one histogram per span
+// kind (pre-registered, so the commit path does no label lookups) and the
+// slowest-window gauge.
+type traceMetrics struct {
+	spans   [numKinds]*telemetry.Histogram
+	slowest *telemetry.Gauge
+	maxDur  atomic.Int64 // nanos; commits may race, so CAS the max
+}
+
+// SetMetrics registers the tracer's instruments on reg and starts mirroring
+// at every Commit; a nil reg detaches. Registration is idempotent across
+// tracers sharing a registry.
+func (t *Tracer) SetMetrics(reg *telemetry.Registry) {
+	if t == nil {
+		return
+	}
+	if reg == nil {
+		t.metrics = nil
+		return
+	}
+	m := &traceMetrics{
+		slowest: reg.Gauge(MetricSlowestWindow,
+			"Slowest committed window's root-span duration (the top flight-recorder exemplar).", nil),
+	}
+	for _, k := range Kinds() {
+		m.spans[k] = reg.Histogram(MetricSpanSeconds,
+			"Committed span durations from the per-window flight recorder, by span kind.",
+			nil, telemetry.Labels{"span": k.String()})
+	}
+	t.metrics = m
+}
+
+// observe mirrors one committed window into the registry (no-op when
+// SetMetrics was not called). Called from Commit only.
+func (t *Tracer) observe(d *windowData) {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	m.spans[KindWindow].Observe(float64(d.dur) / 1e9)
+	for i := int32(0); i < d.nspans; i++ {
+		sp := &d.spans[i]
+		if int(sp.kind) < numKinds {
+			m.spans[sp.kind].Observe(float64(sp.dur) / 1e9)
+		}
+	}
+	// The gauge tracks the max root duration; commits may race, so CAS the
+	// monotone max and only the winning writer refreshes the gauge.
+	for {
+		cur := m.maxDur.Load()
+		if d.dur <= cur {
+			break
+		}
+		if m.maxDur.CompareAndSwap(cur, d.dur) {
+			m.slowest.Set(float64(d.dur) / 1e9)
+			break
+		}
+	}
+}
