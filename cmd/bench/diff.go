@@ -1,0 +1,169 @@
+package main
+
+// This file is the perf-regression gate behind `bench -diff`: a fresh run is
+// compared scenario-by-scenario against the checked-in BENCH_pipeline.json
+// and the process exits non-zero when the hot path got measurably worse.
+//
+// The comparison policy separates deterministic metrics from noisy ones:
+//
+//   - allocs/op is a property of the code, not the machine — the same build
+//     allocates the same count at any CPU speed, even under -quick's single
+//     iteration. A regression beyond allocTolerance always FAILS.
+//   - windows/sec is wall-clock. Under comparable conditions (same quick
+//     mode, CPU count, GOMAXPROCS) a drop beyond windowsTolerance FAILS;
+//     when the contexts differ the drop degrades to a WARN, because a
+//     one-iteration CI smoke run on a different box cannot indict the code.
+//   - ns/op only ever WARNs: it moves with windows/sec on the pipeline
+//     scenarios and is pure noise on the mining microbenchmarks' short runs.
+//
+// A scenario present in the baseline but missing from the fresh run FAILS
+// loudly (a renamed or deleted scenario silently un-gates itself otherwise);
+// a new scenario without a baseline WARNs until the baseline is refreshed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression tolerances, as fractions of the baseline value.
+const (
+	allocTolerance   = 0.25 // allocs/op may grow this much before failing
+	windowsTolerance = 0.15 // windows/sec may drop this much before failing
+	nsTolerance      = 0.15 // ns/op beyond this warns (never fails)
+)
+
+// finding is one comparison outcome worth reporting.
+type finding struct {
+	level    string // "FAIL" or "WARN"
+	scenario string
+	msg      string
+}
+
+func (f finding) String() string { return f.level + " " + f.scenario + ": " + f.msg }
+
+func hasFailures(findings []finding) bool {
+	for _, f := range findings {
+		if f.level == "FAIL" {
+			return true
+		}
+	}
+	return false
+}
+
+// loadBaseline reads and validates a checked-in bench report.
+func loadBaseline(path string) (report, error) {
+	var rep report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if rep.Schema != benchSchema {
+		return rep, fmt.Errorf("baseline %s has schema %q, want %q", path, rep.Schema, benchSchema)
+	}
+	return rep, nil
+}
+
+// contextNote returns "" when the two reports were measured under comparable
+// conditions, or the reason their wall-clock metrics are not comparable.
+// GOMAXPROCS is compared only when both reports carry it (older baselines
+// predate the field).
+func contextNote(baseline, fresh report) string {
+	switch {
+	case baseline.Quick != fresh.Quick:
+		return fmt.Sprintf("quick=%v vs baseline quick=%v", fresh.Quick, baseline.Quick)
+	case baseline.CPUs != fresh.CPUs:
+		return fmt.Sprintf("%d CPUs vs baseline %d", fresh.CPUs, baseline.CPUs)
+	case baseline.GOMAXPROCS != 0 && fresh.GOMAXPROCS != 0 && baseline.GOMAXPROCS != fresh.GOMAXPROCS:
+		return fmt.Sprintf("GOMAXPROCS=%d vs baseline %d", fresh.GOMAXPROCS, baseline.GOMAXPROCS)
+	}
+	return ""
+}
+
+// compareReports diffs a fresh run against the baseline and returns the
+// findings, most severe first within each scenario. An empty slice means
+// everything is within tolerance.
+func compareReports(baseline, fresh report) []finding {
+	var findings []finding
+	note := contextNote(baseline, fresh)
+	// Wall-clock regressions can only fail under a comparable context.
+	wallLevel := "FAIL"
+	if note != "" {
+		wallLevel = "WARN"
+	}
+
+	freshByName := make(map[string]result, len(fresh.Scenarios))
+	for _, r := range fresh.Scenarios {
+		freshByName[r.Name] = r
+	}
+	baseByName := make(map[string]result, len(baseline.Scenarios))
+
+	for _, base := range baseline.Scenarios {
+		baseByName[base.Name] = base
+		cur, ok := freshByName[base.Name]
+		if !ok {
+			findings = append(findings, finding{"FAIL", base.Name,
+				"scenario in the baseline but missing from this run (renamed or deleted? refresh the baseline deliberately)"})
+			continue
+		}
+		if base.AllocsPerOp > 0 {
+			limit := float64(base.AllocsPerOp) * (1 + allocTolerance)
+			if float64(cur.AllocsPerOp) > limit {
+				findings = append(findings, finding{"FAIL", base.Name,
+					fmt.Sprintf("allocs/op %d exceeds baseline %d by more than %.0f%%",
+						cur.AllocsPerOp, base.AllocsPerOp, allocTolerance*100)})
+			}
+		}
+		if base.WindowsPerSec > 0 && cur.WindowsPerSec > 0 {
+			floor := base.WindowsPerSec * (1 - windowsTolerance)
+			if cur.WindowsPerSec < floor {
+				msg := fmt.Sprintf("windows/sec %.1f below baseline %.1f by more than %.0f%%",
+					cur.WindowsPerSec, base.WindowsPerSec, windowsTolerance*100)
+				if note != "" {
+					msg += " (context not comparable: " + note + ")"
+				}
+				findings = append(findings, finding{wallLevel, base.Name, msg})
+			}
+		}
+		if base.NsPerOp > 0 {
+			limit := float64(base.NsPerOp) * (1 + nsTolerance)
+			if float64(cur.NsPerOp) > limit {
+				findings = append(findings, finding{"WARN", base.Name,
+					fmt.Sprintf("ns/op %d exceeds baseline %d by more than %.0f%% (noise-tolerant: never fails)",
+						cur.NsPerOp, base.NsPerOp, nsTolerance*100)})
+			}
+		}
+	}
+	for _, cur := range fresh.Scenarios {
+		if _, ok := baseByName[cur.Name]; !ok {
+			findings = append(findings, finding{"WARN", cur.Name,
+				"scenario has no baseline entry; refresh BENCH_pipeline.json to gate it"})
+		}
+	}
+	return findings
+}
+
+// runDiff loads the baseline, compares, prints findings to stderr, and
+// reports whether the gate passed.
+func runDiff(baselinePath string, fresh report) (ok bool, err error) {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	findings := compareReports(baseline, fresh)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "bench: diff: %s\n", f)
+	}
+	if hasFailures(findings) {
+		return false, nil
+	}
+	if len(findings) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: diff: no regressions against %s\n", baselinePath)
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: diff: warnings only, gate passes\n")
+	}
+	return true, nil
+}

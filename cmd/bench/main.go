@@ -65,16 +65,21 @@ type result struct {
 	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
 }
 
-// report is the BENCH_pipeline.json document.
+// report is the BENCH_pipeline.json document. CPUs and GOMAXPROCS record
+// the measurement context: the -diff gate downgrades wall-clock regressions
+// to warnings when they differ from the baseline's, and Warnings carries
+// caveats about the run itself (e.g. worker tiers measured on one CPU).
 type report struct {
-	Schema    string   `json:"schema"`
-	Go        string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Timestamp string   `json:"timestamp"`
-	Quick     bool     `json:"quick,omitempty"`
-	Scenarios []result `json:"scenarios"`
+	Schema     string   `json:"schema"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	Timestamp  string   `json:"timestamp"`
+	Quick      bool     `json:"quick,omitempty"`
+	Warnings   []string `json:"warnings,omitempty"`
+	Scenarios  []result `json:"scenarios"`
 }
 
 func benchParams() core.Params {
@@ -178,13 +183,18 @@ func scenarios() []scenario {
 // be empty (omitted from the JSON) when the caller has no clock to offer.
 func runSuite(quick bool, timestamp string) report {
 	rep := report{
-		Schema:    benchSchema,
-		Go:        runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Timestamp: timestamp,
-		Quick:     quick,
+		Schema:     benchSchema,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  timestamp,
+		Quick:      quick,
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Warnings = append(rep.Warnings,
+			"GOMAXPROCS=1: the workers=2/8 tiers ran on a single CPU, so their windows/sec measures scheduling overhead, not parallel speedup")
 	}
 	for _, sc := range scenarios() {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", sc.name)
@@ -227,6 +237,8 @@ func main() {
 	testing.Init() // registers test.benchtime before our flags parse
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path ('-' for stdout)")
 	quick := flag.Bool("quick", false, "CI smoke mode: one iteration per scenario")
+	diff := flag.String("diff", "",
+		"baseline JSON to gate against: exit non-zero on a perf regression (see diff.go for the policy)")
 	flag.Parse()
 
 	if *quick {
@@ -236,11 +248,24 @@ func main() {
 		}
 	}
 	rep := runSuite(*quick, time.Now().UTC().Format(time.RFC3339))
+	// The fresh report is always written first — a failing gate still leaves
+	// both JSONs on disk for the CI artifact upload.
 	if err := writeReport(rep, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "bench: wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	}
+	if *diff != "" {
+		ok, err := runDiff(*diff, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: perf-regression gate FAILED against %s\n", *diff)
+			os.Exit(1)
+		}
 	}
 }

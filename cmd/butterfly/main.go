@@ -392,10 +392,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}()
 
+	// The audit-dump entry buffer outlives the emit callback so each window
+	// reuses the previous window's storage (the dump file is written and
+	// synced before the callback returns, so nothing aliases it afterwards).
+	var entryBuf []data.PublishedEntry
 	rep, err := pipe.RunContext(ctx, drain, func(w pipeline.Window) error {
 		printWindow(stdout, w.Output, vocab, *top, w.Position, *window)
 		if *dumpDir != "" {
-			return dumpWindow(*dumpDir, w.Position, w.Output, vocab)
+			var err error
+			entryBuf, err = dumpWindow(*dumpDir, w.Position, w.Output, vocab, entryBuf)
+			return err
 		}
 		return nil
 	})
@@ -456,28 +462,31 @@ func printSummary(w io.Writer, reg *telemetry.Registry, rep *pipeline.Report, st
 
 // dumpWindow writes one published window in the audit format, surfacing
 // flush and close failures instead of dropping them in a deferred Close.
-func dumpWindow(dir string, position int, out *core.Output, vocab *data.Vocabulary) error {
-	entries := make([]data.PublishedEntry, out.Len())
-	for i, it := range out.Items {
-		entries[i] = data.PublishedEntry{Support: it.Support, Set: it.Set}
+// The published itemsets are staged zero-copy — the entries alias the
+// Output's itemsets — into buf, which is returned (possibly grown) for the
+// next window to reuse.
+func dumpWindow(dir string, position int, out *core.Output, vocab *data.Vocabulary, buf []data.PublishedEntry) ([]data.PublishedEntry, error) {
+	entries := buf[:0]
+	for _, it := range out.Items {
+		entries = append(entries, data.PublishedEntry{Support: it.Support, Set: it.Set})
 	}
 	path := fmt.Sprintf("%s/window-%d.txt", dir, position)
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return entries, err
 	}
 	if err := data.WritePublished(f, entries, vocab); err != nil {
 		f.Close()
-		return fmt.Errorf("writing %s: %w", path, err)
+		return entries, fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("syncing %s: %w", path, err)
+		return entries, fmt.Errorf("syncing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("closing %s: %w", path, err)
+		return entries, fmt.Errorf("closing %s: %w", path, err)
 	}
-	return nil
+	return entries, nil
 }
 
 // buildSource assembles the incremental record source for the chosen input.

@@ -62,10 +62,19 @@ func (s *Stream) Ready() bool { return s.miner.Len() == s.miner.Capacity() }
 // what a system WITHOUT output-privacy protection would release, and what
 // the evaluation uses as ground truth.
 func (s *Stream) Mine() *mining.Result {
+	return s.MineInto(nil)
+}
+
+// MineInto is Mine recycling the storage of a previously mined (and fully
+// consumed) result — the pipeline's window pool hands back results whose
+// sanitized output has been emitted. A nil recycled allocates fresh. In
+// closed-only mode the closure filter derives a fresh result regardless and
+// recycled is ignored.
+func (s *Stream) MineInto(recycled *mining.Result) *mining.Result {
 	if s.closedOnly {
 		return s.miner.Closed()
 	}
-	return s.miner.Frequent()
+	return s.miner.FrequentInto(recycled)
 }
 
 // Publish mines the current window and releases the sanitized output.

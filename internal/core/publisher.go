@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fec"
@@ -22,6 +23,13 @@ type PublishedItemset struct {
 
 // Output is the sanitized mining output of one window — what leaves the
 // system. It deliberately carries no true supports.
+//
+// The lookup index behind Support is built lazily on first use: the publish
+// hot path only appends and sorts Items, and most outputs are written out or
+// diffed positionally without a single lookup, so interning a key string per
+// itemset per window was pure garbage. An Output is safe for concurrent
+// reads only once the index exists (call Support once before sharing);
+// windows inside the pipeline are owned by one stage at a time.
 type Output struct {
 	// WindowSize is H; the sliding-window protocol makes it public.
 	WindowSize int
@@ -29,12 +37,23 @@ type Output struct {
 	// support (ties by size then key), the order a mining frontend displays.
 	Items []PublishedItemset
 
-	byKey map[string]int
+	byKey map[string]int // Key() -> Support, built on first use
+}
+
+// index returns the Key() -> Support map, building it on first use.
+func (o *Output) index() map[string]int {
+	if o.byKey == nil {
+		o.byKey = make(map[string]int, len(o.Items))
+		for _, it := range o.Items {
+			o.byKey[it.Set.Key()] = it.Support
+		}
+	}
+	return o.byKey
 }
 
 // Support returns the published support of s.
 func (o *Output) Support(s itemset.Itemset) (int, bool) {
-	v, ok := o.byKey[s.Key()]
+	v, ok := o.index()[s.Key()]
 	return v, ok
 }
 
@@ -49,11 +68,9 @@ func NewRawOutput(res *mining.Result, windowSize int) *Output {
 	out := &Output{
 		WindowSize: windowSize,
 		Items:      make([]PublishedItemset, 0, res.Len()),
-		byKey:      make(map[string]int, res.Len()),
 	}
 	for _, fi := range res.Itemsets {
 		out.Items = append(out.Items, PublishedItemset{Set: fi.Set, Support: fi.Support})
-		out.byKey[fi.Set.Key()] = fi.Support
 	}
 	return out
 }
@@ -70,10 +87,26 @@ type Publisher struct {
 	scheme Scheme
 	src    *rng.Source
 
-	cache         map[string]cacheEntry
+	// cache maps itemset.Itemset.Key() strings to republication entries.
+	// Entries are pointers so the steady-state hit path can look up with
+	// `cache[string(keyBuf)]` (a conversion the compiler elides — zero
+	// allocations) and refresh the entry through the pointer; a key string is
+	// materialized only when a genuinely new itemset is inserted.
+	cache         map[string]*cacheEntry
 	cacheDisabled bool
 	maxCacheAge   int
 	window        int
+
+	// Per-window scratch, reused across Publish calls so a steady-state
+	// window allocates almost nothing (see DESIGN.md §2.12 for the ownership
+	// rules). All of it holds values only BETWEEN phases of one Publish call;
+	// nothing published aliases it.
+	classScratch  []fec.Class       // FEC partition of the current window
+	memberScratch []itemset.Itemset // flat backing array for classScratch members
+	ladderScratch []ladderRung      // current window's ladder, compared to lastLadder
+	drawScratch   []int             // batched shared-draw offsets, one per class
+	keyBuf        []byte            // AppendKey scratch for cache lookups
+	perChunk      [][]chunkItem     // parallel path: per-chunk item buffers
 
 	// Incremental bias reuse (the paper's §VII "incremental version"
 	// future work): when consecutive windows produce the same FEC ladder —
@@ -140,7 +173,7 @@ func NewPublisher(p Params, scheme Scheme, src *rng.Source) (*Publisher, error) 
 		params:      p,
 		scheme:      scheme,
 		src:         src,
-		cache:       map[string]cacheEntry{},
+		cache:       map[string]*cacheEntry{},
 		maxCacheAge: 64,
 	}, nil
 }
@@ -163,7 +196,8 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 	if res == nil {
 		return nil, fmt.Errorf("core: nil mining result")
 	}
-	classes := fec.Partition(res)
+	pub.classScratch, pub.memberScratch = fec.PartitionInto(res, pub.classScratch, pub.memberScratch)
+	classes := pub.classScratch
 	reusesBefore := pub.biasReuses
 	t0 := time.Now()
 	biases, err := pub.biasesFor(classes)
@@ -184,7 +218,6 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 	out := &Output{
 		WindowSize: windowSize,
 		Items:      make([]PublishedItemset, 0, fec.TotalMembers(classes)),
-		byKey:      make(map[string]int, fec.TotalMembers(classes)),
 	}
 	var hits, misses int
 	if pub.workers > 1 {
@@ -199,15 +232,14 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 	} else {
 		hits, misses = pub.perturbSequential(out, classes, biases, half)
 	}
-	sort.Slice(out.Items, func(i, j int) bool {
-		a, b := out.Items[i], out.Items[j]
+	slices.SortFunc(out.Items, func(a, b PublishedItemset) int {
 		if a.Support != b.Support {
-			return a.Support > b.Support
+			return b.Support - a.Support
 		}
 		if a.Set.Len() != b.Set.Len() {
-			return a.Set.Len() < b.Set.Len()
+			return a.Set.Len() - b.Set.Len()
 		}
-		return a.Set.Key() < b.Set.Key()
+		return itemset.Compare(a.Set, b.Set)
 	})
 	pub.sweepCache()
 	// Observability, strictly after the output is final: cache traffic and
@@ -227,40 +259,69 @@ func (pub *Publisher) Publish(res *mining.Result, windowSize int) (*Output, erro
 // its output for a fixed seed — is frozen; the byte-compatibility of
 // workers=1 publication with pre-parallel releases depends on it. The
 // returned hit/miss tally feeds the cache-traffic telemetry.
+//
+// Shared-draw schemes consume exactly one draw per class, in class order, so
+// those draws are batched through rng.FillIntRange — same values, same
+// cursor, one call. The basic scheme's per-itemset draws interleave with the
+// per-class ones and stay inline.
 func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases []int, half int) (hits, misses int) {
+	sharedDraws := pub.scheme.SharedDraws()
+	var draws []int
+	if sharedDraws {
+		if cap(pub.drawScratch) < len(classes) {
+			pub.drawScratch = make([]int, len(classes))
+		}
+		draws = pub.drawScratch[:len(classes)]
+		pub.src.FillIntRange(-half, half, draws)
+	}
+	keyBuf := pub.keyBuf
 	for ci, class := range classes {
 		// One shared draw per FEC keeps intra-class equality (optimized
 		// schemes); the basic scheme redraws per itemset.
-		sharedOffset := biases[ci] + pub.src.IntRange(-half, half)
+		var sharedOffset int
+		if sharedDraws {
+			sharedOffset = biases[ci] + draws[ci]
+		} else {
+			sharedOffset = biases[ci] + pub.src.IntRange(-half, half)
+		}
 		for _, member := range class.Members {
-			key := member.Key()
+			keyBuf = member.AppendKey(keyBuf[:0])
+			e := pub.cache[string(keyBuf)] // alloc-free lookup
 			var sanitized int
-			if e, ok := pub.cache[key]; ok && !pub.cacheDisabled && e.trueSupport == class.Support {
+			if e != nil && !pub.cacheDisabled && e.trueSupport == class.Support {
 				sanitized = e.sanitized
 				hits++
-			} else if pub.scheme.SharedDraws() {
+			} else if sharedDraws {
 				sanitized = class.Support + sharedOffset
 				misses++
 			} else {
 				sanitized = class.Support + biases[ci] + pub.src.IntRange(-half, half)
 				misses++
 			}
-			pub.cache[key] = cacheEntry{
-				trueSupport: class.Support,
-				sanitized:   sanitized,
-				lastSeen:    pub.window,
+			if e != nil {
+				e.trueSupport = class.Support
+				e.sanitized = sanitized
+				e.lastSeen = pub.window
+			} else {
+				pub.cache[string(keyBuf)] = &cacheEntry{
+					trueSupport: class.Support,
+					sanitized:   sanitized,
+					lastSeen:    pub.window,
+				}
 			}
 			out.Items = append(out.Items, PublishedItemset{Set: member, Support: sanitized})
-			out.byKey[key] = sanitized
 		}
 	}
+	pub.keyBuf = keyBuf
 	return hits, misses
 }
 
 // chunkItem is one perturbed itemset produced by a parallel chunk, carrying
-// the cache update to apply after the fan-in.
+// the cache update to apply after the fan-in. It deliberately carries no key
+// string: workers probe the cache through a reusable byte buffer, and the
+// single-goroutine fan-in recomputes keys the same way, so a window's worth
+// of key strings is never materialized.
 type chunkItem struct {
-	key         string
 	set         itemset.Itemset
 	trueSupport int
 	sanitized   int
@@ -291,14 +352,19 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 	}
 	sharedDraws := pub.scheme.SharedDraws()
 
-	perChunk := make([][]chunkItem, nChunks)
-	// Pre-queue every chunk before the workers start: if a worker dies to a
-	// recovered panic, the remaining sends must not block on it.
-	tasks := make(chan int, nChunks)
-	for c := 0; c < nChunks; c++ {
-		tasks <- c
+	// Per-chunk buffers are publisher scratch: the slice-of-slices and each
+	// chunk's backing array are reused window after window. Distinct workers
+	// write distinct elements, so no synchronization beyond wg is needed.
+	if cap(pub.perChunk) < nChunks {
+		fresh := make([][]chunkItem, nChunks)
+		copy(fresh, pub.perChunk)
+		pub.perChunk = fresh
 	}
-	close(tasks)
+	perChunk := pub.perChunk[:nChunks]
+
+	// Chunks are claimed off a shared counter: if a worker dies to a
+	// recovered panic, the survivors drain the remainder.
+	var next atomic.Int64
 	var panicOnce sync.Once
 	var panicErr error
 	var wg sync.WaitGroup
@@ -313,7 +379,13 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 					})
 				}
 			}()
-			for c := range tasks {
+			var keyBuf []byte
+			var chunkDraws [publishChunkClasses]int
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
 				if pub.chunkHook != nil {
 					pub.chunkHook(c)
 				}
@@ -323,14 +395,30 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 				if end > len(classes) {
 					end = len(classes)
 				}
-				var local []chunkItem
+				// Shared-draw schemes consume one draw per class from the
+				// chunk's source, in order — batch them (see
+				// perturbSequential); the basic scheme stays inline.
+				var draws []int
+				if sharedDraws {
+					draws = chunkDraws[:end-start]
+					src.FillIntRange(-half, half, draws)
+				}
+				local := perChunk[c][:0]
 				for ci := start; ci < end; ci++ {
 					class := classes[ci]
-					sharedOffset := biases[ci] + src.IntRange(-half, half)
+					var sharedOffset int
+					if sharedDraws {
+						sharedOffset = biases[ci] + draws[ci-start]
+					} else {
+						sharedOffset = biases[ci] + src.IntRange(-half, half)
+					}
 					for _, member := range class.Members {
-						key := member.Key()
+						keyBuf = member.AppendKey(keyBuf[:0])
+						// Read-only probe: the publisher goroutine writes the
+						// cache only after wg.Wait.
+						e := pub.cache[string(keyBuf)]
 						var sanitized int
-						if e, ok := pub.cache[key]; ok && !pub.cacheDisabled && e.trueSupport == class.Support {
+						if e != nil && !pub.cacheDisabled && e.trueSupport == class.Support {
 							sanitized = e.sanitized
 						} else if sharedDraws {
 							sanitized = class.Support + sharedOffset
@@ -338,7 +426,6 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 							sanitized = class.Support + biases[ci] + src.IntRange(-half, half)
 						}
 						local = append(local, chunkItem{
-							key:         key,
 							set:         member,
 							trueSupport: class.Support,
 							sanitized:   sanitized,
@@ -354,22 +441,31 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 		return 0, 0, panicErr
 	}
 
+	keyBuf := pub.keyBuf
 	for _, local := range perChunk {
 		for _, it := range local {
-			if e, ok := pub.cache[it.key]; ok && !pub.cacheDisabled && e.trueSupport == it.trueSupport {
+			keyBuf = it.set.AppendKey(keyBuf[:0])
+			e := pub.cache[string(keyBuf)]
+			if e != nil && !pub.cacheDisabled && e.trueSupport == it.trueSupport {
 				hits++
 			} else {
 				misses++
 			}
-			pub.cache[it.key] = cacheEntry{
-				trueSupport: it.trueSupport,
-				sanitized:   it.sanitized,
-				lastSeen:    pub.window,
+			if e != nil {
+				e.trueSupport = it.trueSupport
+				e.sanitized = it.sanitized
+				e.lastSeen = pub.window
+			} else {
+				pub.cache[string(keyBuf)] = &cacheEntry{
+					trueSupport: it.trueSupport,
+					sanitized:   it.sanitized,
+					lastSeen:    pub.window,
+				}
 			}
 			out.Items = append(out.Items, PublishedItemset{Set: it.set, Support: it.sanitized})
-			out.byKey[it.key] = it.sanitized
 		}
 	}
+	pub.keyBuf = keyBuf
 	return hits, misses, nil
 }
 
@@ -417,10 +513,11 @@ func (pub *Publisher) Workers() int {
 // A scheme returning the wrong number of biases is rejected BEFORE the memo
 // is written, so a misbehaving call can never poison later windows.
 func (pub *Publisher) biasesFor(classes []fec.Class) ([]int, error) {
-	ladder := make([]ladderRung, len(classes))
-	for i, c := range classes {
-		ladder[i] = ladderRung{support: c.Support, size: c.Size()}
+	ladder := pub.ladderScratch[:0]
+	for _, c := range classes {
+		ladder = append(ladder, ladderRung{support: c.Support, size: c.Size()})
 	}
+	pub.ladderScratch = ladder
 	if pub.lastBiases != nil && sameLadder(ladder, pub.lastLadder) {
 		pub.biasReuses++
 		pub.recordBiasReuse()
@@ -431,7 +528,9 @@ func (pub *Publisher) biasesFor(classes []fec.Class) ([]int, error) {
 		return nil, fmt.Errorf("core: scheme %s returned %d biases for %d classes",
 			pub.scheme.Name(), len(biases), len(classes))
 	}
-	pub.lastLadder = ladder
+	// The memo must survive the scratch's next reuse: copy, reusing the
+	// memo's own capacity.
+	pub.lastLadder = append(pub.lastLadder[:0], ladder...)
 	pub.lastBiases = biases
 	return biases, nil
 }

@@ -129,7 +129,10 @@ func (s OrderPreserving) gridSize() int {
 
 // candidates returns the bias grid for one class: every integer in
 // [−β^m, β^m] when that is small, otherwise an even sampling that always
-// includes the endpoints and zero.
+// includes the endpoints and zero. The grid is small (at most gridSize+1
+// entries), so duplicate elimination is a linear scan — no map, no
+// allocation beyond the result slice. This runs once per class per
+// un-memoized Publish, so it is on the publish hot path.
 func (s OrderPreserving) candidates(p Params, t int) []int {
 	bm := p.MaxBias(t)
 	m := s.gridSize()
@@ -140,19 +143,24 @@ func (s OrderPreserving) candidates(p Params, t int) []int {
 		}
 		return out
 	}
-	seen := map[int]bool{}
 	out := make([]int, 0, m+1)
-	add := func(b int) {
-		if !seen[b] {
-			seen[b] = true
+	step := 2 * float64(bm) / float64(m-1)
+	for k := 0; k <= m; k++ {
+		b := 0 // the final pass appends 0, matching the historical grid
+		if k < m {
+			b = int(math.Round(-float64(bm) + float64(k)*step))
+		}
+		dup := false
+		for _, x := range out {
+			if x == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, b)
 		}
 	}
-	step := 2 * float64(bm) / float64(m-1)
-	for k := 0; k < m; k++ {
-		add(int(math.Round(-float64(bm) + float64(k)*step)))
-	}
-	add(0)
 	// Keep the grid sorted after the possible append of 0.
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
@@ -161,6 +169,15 @@ func (s OrderPreserving) candidates(p Params, t int) []int {
 	}
 	return out
 }
+
+// denseStateLimit is the largest per-tier state space (maxGrid^min(γ, n))
+// the DP runs on flat arrays. Beyond it — large γ at a wide grid — the
+// historical sparse map implementation takes over: it bounds live states by
+// the beam instead of materializing the full key space. Both paths compute
+// the identical bias assignment (a property test cross-checks them); the
+// dense path exists because the map DP was the publish hot path's dominant
+// allocator (~100k allocs per benched op before the rewrite).
+const denseStateLimit = 4096
 
 // Biases implements Scheme via the γ-lookback dynamic program.
 func (s OrderPreserving) Biases(classes []fec.Class, p Params) []int {
@@ -173,12 +190,181 @@ func (s OrderPreserving) Biases(classes []fec.Class, p Params) []int {
 	if gamma == 0 {
 		return out // no pairwise terms: the zero-bias assignment is optimal
 	}
-	alpha := p.Alpha()
-
 	cands := make([][]int, n)
+	maxGrid := 0
 	for i, c := range classes {
 		cands[i] = s.candidates(p, c.Support)
+		if len(cands[i]) > maxGrid {
+			maxGrid = len(cands[i])
+		}
 	}
+	space := 1
+	for k := 0; k < min(gamma, n); k++ {
+		space *= maxGrid
+		if space > denseStateLimit {
+			return s.biasesSparse(classes, p, cands, maxGrid, out)
+		}
+	}
+	return s.biasesDense(classes, p, cands, maxGrid, out)
+}
+
+// biasesDense is the flat-array DP: states are dense arrays indexed by the
+// encoded candidate-index tuple, with +Inf marking absent states. Iterating
+// keys in ascending order reproduces the sparse implementation's
+// sorted-key processing order exactly, so tie-breaking — first-processed
+// state wins equal costs — and therefore the chosen biases are identical.
+// The whole tier fits a few KiB (the caller guarantees the state space is
+// at most denseStateLimit), and the only allocations are a handful of flat
+// slices sized once per call.
+func (s OrderPreserving) biasesDense(classes []fec.Class, p Params, cands [][]int, maxGrid int, out []int) []int {
+	n := len(classes)
+	gamma := s.gamma()
+	alpha := p.Alpha()
+	beam := s.maxStates()
+	inf := math.Inf(1)
+
+	pow := func(k int) int {
+		r := 1
+		for ; k > 0; k-- {
+			r *= maxGrid
+		}
+		return r
+	}
+	// prev[offsets[i]+key] is the predecessor key of state `key` after
+	// class i — the backtracking chain, stored as one flat arena.
+	offsets := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + pow(min(gamma, i+1))
+	}
+	prev := make([]int32, offsets[n])
+
+	spaceFull := pow(min(gamma, n))
+	cost := make([]float64, spaceFull)
+	next := make([]float64, spaceFull)
+	idxs := make([]int, gamma)
+
+	space0 := pow(1)
+	for k := 0; k < space0; k++ {
+		cost[k] = inf
+	}
+	for ci := range cands[0] {
+		cost[ci] = 0
+	}
+
+	for i := 1; i < n; i++ {
+		spanPrev := min(gamma, i) // classes i-spanPrev..i-1 are in the predecessor state
+		spacePrev := pow(spanPrev)
+		spaceCur := pow(min(gamma, i+1))
+		for k := 0; k < spaceCur; k++ {
+			next[k] = inf
+		}
+		grow := spanPrev < gamma
+		dropMod := 1
+		if !grow {
+			dropMod = pow(gamma - 1)
+		}
+		live := 0
+		for key := 0; key < spacePrev; key++ {
+			entCost := cost[key]
+			if math.IsInf(entCost, 1) {
+				continue
+			}
+			// Decode key into the candidate indices of classes
+			// i-spanPrev..i-1 (most significant digit first).
+			k := key
+			for j := spanPrev - 1; j >= 0; j-- {
+				idxs[j] = k % maxGrid
+				k /= maxGrid
+			}
+			eprev := classes[i-1].Support + cands[i-1][idxs[spanPrev-1]]
+			for ci, bi := range cands[i] {
+				if classes[i].Support+bi <= eprev {
+					continue // estimator order violated
+				}
+				add := 0.0
+				for off := 0; off < spanPrev; off++ {
+					j := i - spanPrev + off
+					d := (classes[i].Support + bi) - (classes[j].Support + cands[j][idxs[off]])
+					if d >= alpha+1 {
+						continue
+					}
+					w := float64(classes[j].Size() + classes[i].Size())
+					gap := float64(alpha + 1 - d)
+					add += w * gap * gap
+				}
+				var nkey int
+				if grow {
+					nkey = key*maxGrid + ci
+				} else {
+					nkey = (key%dropMod)*maxGrid + ci
+				}
+				c := entCost + add
+				if math.IsInf(next[nkey], 1) {
+					live++
+					next[nkey] = c
+					prev[offsets[i]+nkey] = int32(key)
+				} else if c < next[nkey] {
+					next[nkey] = c
+					prev[offsets[i]+nkey] = int32(key)
+				}
+			}
+		}
+		if live == 0 {
+			// Cannot happen: the all-zero-bias chain is always feasible
+			// because class supports are strictly increasing. Guard anyway.
+			zero := indexOf(cands[i], 0)
+			next[zero] = 0
+			prev[offsets[i]+zero] = 0
+			live = 1
+		}
+		// Beam bound: keep only the cheapest states (ties by key, matching
+		// the sparse path) so a small MaxStates stays honored.
+		if live > beam {
+			keys := make([]int, 0, live)
+			for k := 0; k < spaceCur; k++ {
+				if !math.IsInf(next[k], 1) {
+					keys = append(keys, k)
+				}
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				ca, cb := next[keys[a]], next[keys[b]]
+				if ca != cb {
+					return ca < cb
+				}
+				return keys[a] < keys[b]
+			})
+			for _, k := range keys[beam:] {
+				next[k] = inf
+			}
+		}
+		cost, next = next, cost
+	}
+
+	// Pick the cheapest final state (smallest key on ties) and backtrack.
+	bestKey := 0
+	best := inf
+	for key := 0; key < pow(min(gamma, n)); key++ {
+		if cost[key] < best {
+			best = cost[key]
+			bestKey = key
+		}
+	}
+	key := bestKey
+	for i := n - 1; i >= 0; i-- {
+		out[i] = cands[i][key%maxGrid] // the last tuple element is the low digit
+		key = int(prev[offsets[i]+key])
+	}
+	return out
+}
+
+// biasesSparse is the historical map-based DP, kept for state spaces too
+// large to materialize densely (large γ × wide grid — the beam bound keeps
+// the maps small there). It must stay behaviorally identical to
+// biasesDense; TestOrderPreservingDenseSparseAgree pins that.
+func (s OrderPreserving) biasesSparse(classes []fec.Class, p Params, cands [][]int, maxGrid int, out []int) []int {
+	n := len(classes)
+	gamma := s.gamma()
+	alpha := p.Alpha()
 
 	// cost of the (j, i) pair (j < i) given their biases.
 	pairCost := func(j, i, bj, bi int) float64 {
@@ -193,12 +379,6 @@ func (s OrderPreserving) Biases(classes []fec.Class, p Params) []int {
 
 	// DP over states: the candidate indices of the most recent min(γ, i+1)
 	// classes, encoded base-maxGrid.
-	maxGrid := 0
-	for _, c := range cands {
-		if len(c) > maxGrid {
-			maxGrid = len(c)
-		}
-	}
 	encode := func(idxs []int) uint64 {
 		var k uint64
 		for _, v := range idxs {

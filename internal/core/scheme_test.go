@@ -265,3 +265,78 @@ func TestSchemeNames(t *testing.T) {
 		t.Error("hybrid name")
 	}
 }
+
+// TestOrderPreservingDenseSparseAgree pins the flat-array DP to the sparse
+// map DP: for random FEC ladders and a spread of γ/grid settings, both paths
+// must choose the identical bias assignment — including cost ties, which
+// both must resolve toward the smallest encoded state key. This is what
+// keeps published bytes stable across the denseStateLimit boundary.
+func TestOrderPreservingDenseSparseAgree(t *testing.T) {
+	src := rng.New(20260808)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(12)
+		classes := make([]fec.Class, n)
+		sup := 20 + src.Intn(10)
+		for i := range classes {
+			size := 1 + src.Intn(4)
+			members := make([]itemset.Itemset, size)
+			for j := range members {
+				members[j] = itemset.New(itemset.Item(i*10 + j))
+			}
+			classes[i] = fec.Class{Support: sup, Members: members}
+			sup += 1 + src.Intn(40)
+		}
+		p := Params{Epsilon: 0.01 + src.Float64()*0.1, Delta: 0.4, MinSupport: 10, VulnSupport: 5}
+		gamma := 1 + src.Intn(3)
+		grid := []int{0, 5, 13}[src.Intn(3)]
+		s := OrderPreserving{Gamma: gamma, GridSize: grid}
+		cands := make([][]int, n)
+		maxGrid := 0
+		for i, c := range classes {
+			cands[i] = s.candidates(p, c.Support)
+			if len(cands[i]) > maxGrid {
+				maxGrid = len(cands[i])
+			}
+		}
+		dense := s.biasesDense(classes, p, cands, maxGrid, make([]int, n))
+		sparse := s.biasesSparse(classes, p, cands, maxGrid, make([]int, n))
+		for i := range dense {
+			if dense[i] != sparse[i] {
+				t.Fatalf("trial %d (γ=%d grid=%d n=%d): dense %v != sparse %v",
+					trial, gamma, grid, n, dense, sparse)
+			}
+		}
+	}
+}
+
+// TestOrderPreservingSmallBeamDenseSparseAgree exercises the beam bound in
+// both DP paths (MaxStates far below the state space) and pins them equal.
+func TestOrderPreservingSmallBeamDenseSparseAgree(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + src.Intn(8)
+		classes := make([]fec.Class, n)
+		sup := 25
+		for i := range classes {
+			classes[i] = fec.Class{Support: sup, Members: []itemset.Itemset{itemset.New(itemset.Item(i))}}
+			sup += 1 + src.Intn(25)
+		}
+		p := Params{Epsilon: 0.05, Delta: 0.4, MinSupport: 10, VulnSupport: 5}
+		s := OrderPreserving{Gamma: 2, MaxStates: 3}
+		cands := make([][]int, n)
+		maxGrid := 0
+		for i, c := range classes {
+			cands[i] = s.candidates(p, c.Support)
+			if len(cands[i]) > maxGrid {
+				maxGrid = len(cands[i])
+			}
+		}
+		dense := s.biasesDense(classes, p, cands, maxGrid, make([]int, n))
+		sparse := s.biasesSparse(classes, p, cands, maxGrid, make([]int, n))
+		for i := range dense {
+			if dense[i] != sparse[i] {
+				t.Fatalf("trial %d: beam-bounded dense %v != sparse %v", trial, dense, sparse)
+			}
+		}
+	}
+}

@@ -110,9 +110,9 @@ func (pub *Publisher) Restore(st *PublisherState) error {
 		}
 		pub.lastBiases = append([]int(nil), st.Biases...)
 	}
-	pub.cache = make(map[string]cacheEntry, len(st.Cache))
+	pub.cache = make(map[string]*cacheEntry, len(st.Cache))
 	for _, e := range st.Cache {
-		pub.cache[e.Key] = cacheEntry{
+		pub.cache[e.Key] = &cacheEntry{
 			trueSupport: e.TrueSupport,
 			sanitized:   e.Sanitized,
 			lastSeen:    e.LastSeen,

@@ -57,19 +57,28 @@ func ReadPublished(r io.Reader, vocab *Vocabulary) ([]PublishedEntry, error) {
 }
 
 // WritePublished writes entries in the format ReadPublished parses. A nil
-// vocabulary writes numeric item ids.
+// vocabulary writes numeric item ids. Numbers are formatted through one
+// reused append buffer, so a window dump costs no formatting garbage.
 func WritePublished(w io.Writer, entries []PublishedEntry, vocab *Vocabulary) error {
 	bw := bufio.NewWriter(w)
+	var num []byte
 	for _, e := range entries {
-		if _, err := fmt.Fprintf(bw, "%d", e.Support); err != nil {
+		num = strconv.AppendInt(num[:0], int64(e.Support), 10)
+		if _, err := bw.Write(num); err != nil {
 			return err
 		}
 		for _, it := range e.Set.Items() {
-			tok := strconv.Itoa(int(it))
-			if vocab != nil {
-				tok = vocab.Token(it)
+			if err := bw.WriteByte(' '); err != nil {
+				return err
 			}
-			if _, err := fmt.Fprintf(bw, " %s", tok); err != nil {
+			var err error
+			if vocab != nil {
+				_, err = bw.WriteString(vocab.Token(it))
+			} else {
+				num = strconv.AppendInt(num[:0], int64(it), 10)
+				_, err = bw.Write(num)
+			}
+			if err != nil {
 				return err
 			}
 		}

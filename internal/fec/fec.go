@@ -7,7 +7,7 @@
 package fec
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/itemset"
 	"repro/internal/mining"
@@ -29,22 +29,107 @@ func (c Class) Size() int { return len(c.Members) }
 // returned in strictly ascending support order (f_1 ≺ f_2 ≺ ... in the
 // paper's notation).
 func Partition(res *mining.Result) []Class {
-	bySupport := map[int][]itemset.Itemset{}
-	for _, fi := range res.Itemsets {
-		bySupport[fi.Support] = append(bySupport[fi.Support], fi.Set)
+	classes, _ := PartitionInto(res, nil, nil)
+	return classes
+}
+
+// PartitionInto is Partition writing into caller-owned scratch: classes is
+// truncated and refilled, and every class's Members field aliases a range of
+// the single flat members buffer (also truncated and refilled), so a
+// steady-state window partitions with zero allocations. Both scratch slices
+// may be nil. The returned slices replace the arguments (they may have been
+// grown); the classes are only valid until the scratch is reused.
+//
+// mining.Result guarantees Itemsets sorted by descending support, ties by
+// ascending size then key order — exactly the partition order reversed — so
+// classes are contiguous runs read back-to-front, with no hashing or sorting.
+// Because Result's fields are exported, the invariant is verified in one O(n)
+// pass first; an out-of-order result (hand-built, e.g. in tests) takes a
+// sort-based fallback with identical output.
+func PartitionInto(res *mining.Result, classes []Class, members []itemset.Itemset) ([]Class, []itemset.Itemset) {
+	sets := res.Itemsets
+	classes = classes[:0]
+	// Reserve full capacity up front: Members subslices alias the backing
+	// array, so it must not be reallocated mid-fill.
+	if cap(members) < len(sets) {
+		members = make([]itemset.Itemset, 0, len(sets))
+	} else {
+		members = members[:0]
 	}
-	out := make([]Class, 0, len(bySupport))
-	for sup, members := range bySupport {
-		sort.Slice(members, func(i, j int) bool {
-			if members[i].Len() != members[j].Len() {
-				return members[i].Len() < members[j].Len()
-			}
-			return members[i].Key() < members[j].Key()
+	if len(sets) == 0 {
+		return classes, members
+	}
+	if !partitionOrdered(sets) {
+		return partitionUnsorted(sets, classes, members)
+	}
+	for end := len(sets); end > 0; {
+		start := end - 1
+		for start > 0 && sets[start-1].Support == sets[end-1].Support {
+			start--
+		}
+		base := len(members)
+		for i := start; i < end; i++ {
+			members = append(members, sets[i].Set)
+		}
+		classes = append(classes, Class{
+			Support: sets[end-1].Support,
+			Members: members[base:len(members):len(members)],
 		})
-		out = append(out, Class{Support: sup, Members: members})
+		end = start
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Support < out[j].Support })
-	return out
+	return classes, members
+}
+
+// partitionOrdered reports whether sets is in the normalized mining.Result
+// order (support descending, then size ascending, then key order ascending).
+func partitionOrdered(sets []mining.FrequentItemset) bool {
+	for i := 1; i < len(sets); i++ {
+		a, b := sets[i-1], sets[i]
+		switch {
+		case a.Support != b.Support:
+			if a.Support < b.Support {
+				return false
+			}
+		case a.Set.Len() != b.Set.Len():
+			if a.Set.Len() > b.Set.Len() {
+				return false
+			}
+		case itemset.Compare(a.Set, b.Set) > 0:
+			return false
+		}
+	}
+	return true
+}
+
+// partitionUnsorted handles results whose Itemsets were reordered after
+// construction: sort a copy directly into partition order (support ascending,
+// members by size then key) and emit runs forward.
+func partitionUnsorted(sets []mining.FrequentItemset, classes []Class, members []itemset.Itemset) ([]Class, []itemset.Itemset) {
+	tmp := make([]mining.FrequentItemset, len(sets))
+	copy(tmp, sets)
+	slices.SortFunc(tmp, func(a, b mining.FrequentItemset) int {
+		if a.Support != b.Support {
+			return a.Support - b.Support
+		}
+		if a.Set.Len() != b.Set.Len() {
+			return a.Set.Len() - b.Set.Len()
+		}
+		return itemset.Compare(a.Set, b.Set)
+	})
+	for i := 0; i < len(tmp); {
+		base := len(members)
+		j := i
+		for j < len(tmp) && tmp[j].Support == tmp[i].Support {
+			members = append(members, tmp[j].Set)
+			j++
+		}
+		classes = append(classes, Class{
+			Support: tmp[i].Support,
+			Members: members[base:len(members):len(members)],
+		})
+		i = j
+	}
+	return classes, members
 }
 
 // TotalMembers returns the number of itemsets across all classes.

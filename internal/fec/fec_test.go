@@ -1,6 +1,7 @@
 package fec
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -105,5 +106,123 @@ func TestPartitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// referencePartition is the original map-and-sort implementation, kept in the
+// test as ground truth for the flat run-based production path.
+func referencePartition(res *mining.Result) []Class {
+	bySupport := map[int][]itemset.Itemset{}
+	for _, fi := range res.Itemsets {
+		bySupport[fi.Support] = append(bySupport[fi.Support], fi.Set)
+	}
+	out := make([]Class, 0, len(bySupport))
+	for sup, members := range bySupport {
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Len() != members[j].Len() {
+				return members[i].Len() < members[j].Len()
+			}
+			return members[i].Key() < members[j].Key()
+		})
+		out = append(out, Class{Support: sup, Members: members})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Support < out[j].Support })
+	return out
+}
+
+func randomResult(src *rng.Source) *mining.Result {
+	n := src.Intn(50)
+	sets := make([]mining.FrequentItemset, 0, n)
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		items := make([]itemset.Item, 1+src.Intn(4))
+		for j := range items {
+			items[j] = itemset.Item(src.Intn(300)) // cross the 256 byte-order boundary
+		}
+		s := itemset.New(items...)
+		if used[s.Key()] {
+			continue
+		}
+		used[s.Key()] = true
+		sets = append(sets, mining.FrequentItemset{Set: s, Support: 1 + src.Intn(8)})
+	}
+	return mining.NewResult(1, sets)
+}
+
+func classesEqual(t *testing.T, got, want []Class) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d classes, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Support != want[i].Support {
+			t.Fatalf("class %d support = %d, want %d", i, got[i].Support, want[i].Support)
+		}
+		if len(got[i].Members) != len(want[i].Members) {
+			t.Fatalf("class %d size = %d, want %d", i, len(got[i].Members), len(want[i].Members))
+		}
+		for j := range got[i].Members {
+			if !got[i].Members[j].Equal(want[i].Members[j]) {
+				t.Fatalf("class %d member %d = %v, want %v", i, j, got[i].Members[j], want[i].Members[j])
+			}
+		}
+	}
+}
+
+// The flat run-based path must agree byte-for-byte with the original
+// map-and-sort implementation: class order, member order, everything.
+func TestPartitionMatchesReference(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		src := rng.New(uint64(trial) * 7919)
+		res := randomResult(src)
+		classesEqual(t, Partition(res), referencePartition(res))
+	}
+}
+
+// A result whose Itemsets were reordered after construction (the fields are
+// exported) must take the sort-based fallback and still match the reference.
+func TestPartitionUnsortedFallback(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		src := rng.New(uint64(trial)*31 + 5)
+		res := randomResult(src)
+		if res.Len() < 2 {
+			continue
+		}
+		// Shuffle Itemsets in place.
+		for i := res.Len() - 1; i > 0; i-- {
+			j := src.Intn(i + 1)
+			res.Itemsets[i], res.Itemsets[j] = res.Itemsets[j], res.Itemsets[i]
+		}
+		classesEqual(t, Partition(res), referencePartition(res))
+	}
+}
+
+// PartitionInto with recycled scratch must produce output identical to a
+// fresh Partition and, once the buffers are warm, allocate nothing.
+func TestPartitionIntoReuse(t *testing.T) {
+	src := rng.New(99)
+	var classes []Class
+	var members []itemset.Itemset
+	results := make([]*mining.Result, 10)
+	for i := range results {
+		results[i] = randomResult(src)
+	}
+	for _, res := range results {
+		classes, members = PartitionInto(res, classes, members)
+		classesEqual(t, classes, referencePartition(res))
+	}
+	// Warm: every subsequent partition of the largest result is alloc-free.
+	big := results[0]
+	for _, res := range results {
+		if res.Len() > big.Len() {
+			big = res
+		}
+	}
+	classes, members = PartitionInto(big, classes, members)
+	allocs := testing.AllocsPerRun(50, func() {
+		classes, members = PartitionInto(big, classes, members)
+	})
+	if allocs != 0 {
+		t.Errorf("warm PartitionInto allocated %.1f objects/op, want 0", allocs)
 	}
 }

@@ -220,6 +220,60 @@ func (s Itemset) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the Key() encoding of s to dst and returns the extended
+// slice. `m[string(dst)]` lookups against a map keyed by Key() strings then
+// cost zero allocations (the compiler elides the conversion), which is what
+// lets the publisher's republication cache run allocation-free on hits: the
+// string is materialized only when a genuinely new key is inserted.
+func (s Itemset) AppendKey(dst []byte) []byte {
+	for _, it := range s.items {
+		v := uint32(it)
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// Compare orders itemsets exactly as comparing their Key() strings does —
+// item by item in the little-endian byte order Key encodes, ties broken by
+// length — but without materializing either key. Every sort that used to
+// compare Key() strings in its comparator (allocating two strings per
+// comparison) goes through Compare instead; the orders MUST stay identical,
+// because published output order is part of the determinism contract.
+// It returns -1, 0 or 1.
+func Compare(a, b Itemset) int {
+	n := min(len(a.items), len(b.items))
+	for i := 0; i < n; i++ {
+		if c := compareItemLE(a.items[i], b.items[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a.items) < len(b.items):
+		return -1
+	case len(a.items) > len(b.items):
+		return 1
+	}
+	return 0
+}
+
+// compareItemLE compares two items by the little-endian byte encoding Key
+// uses — NOT numerically. (For the dense non-negative ids datasets intern,
+// the orders differ only across 256-value boundaries, but the byte order is
+// what Key() historically pinned, so it is the one we preserve.)
+func compareItemLE(x, y Item) int {
+	a, b := uint32(x), uint32(y)
+	for s := 0; s < 32; s += 8 {
+		ba, bb := byte(a>>s), byte(b>>s)
+		if ba != bb {
+			if ba < bb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // String renders the itemset as "{a,b,c}" with numeric items, or letters for
 // items 0..25 to match the paper's running examples.
 func (s Itemset) String() string {

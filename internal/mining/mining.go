@@ -10,6 +10,7 @@ package mining
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/itemset"
@@ -23,6 +24,13 @@ type FrequentItemset struct {
 
 // Result is the outcome of mining one window: every itemset with support at
 // least MinSupport, with lookup by itemset.
+//
+// The lookup index is built lazily by the first Support call: the streaming
+// publish path partitions Itemsets positionally and never looks an itemset
+// up, so eagerly interning a Key() string per itemset every window was pure
+// garbage. A Result is safe for concurrent reads only once the index exists
+// (call Support once before sharing, as the experiment harness does);
+// window results inside the pipeline are owned by one stage at a time.
 type Result struct {
 	// MinSupport is the threshold C the window was mined with.
 	MinSupport int
@@ -31,37 +39,57 @@ type Result struct {
 	// output order is deterministic.
 	Itemsets []FrequentItemset
 
-	byKey map[string]int // Key() -> Support
+	byKey map[string]int // Key() -> Support, built on first use
 }
 
-// NewResult assembles a Result from mined itemsets. It normalizes order and
-// builds the lookup index.
+// NewResult assembles a Result from mined itemsets. It normalizes order;
+// the lookup index is deferred to the first Support call.
 func NewResult(minSupport int, sets []FrequentItemset) *Result {
-	r := &Result{MinSupport: minSupport, Itemsets: sets}
+	return NewResultInto(nil, minSupport, sets)
+}
+
+// NewResultInto is NewResult recycling an existing Result's storage: r's
+// previous contents are discarded and replaced by sets (normalized in
+// place). A nil r allocates fresh. The pipeline's window pool uses it to
+// re-mine into buffers whose windows have already been published — callers
+// must not retain the previous contents.
+func NewResultInto(r *Result, minSupport int, sets []FrequentItemset) *Result {
+	if r == nil {
+		r = &Result{}
+	}
+	r.MinSupport = minSupport
+	r.Itemsets = sets
+	r.byKey = nil
 	r.normalize()
 	return r
 }
 
 func (r *Result) normalize() {
-	sort.Slice(r.Itemsets, func(i, j int) bool {
-		a, b := r.Itemsets[i], r.Itemsets[j]
+	slices.SortFunc(r.Itemsets, func(a, b FrequentItemset) int {
 		if a.Support != b.Support {
-			return a.Support > b.Support
+			return b.Support - a.Support
 		}
 		if a.Set.Len() != b.Set.Len() {
-			return a.Set.Len() < b.Set.Len()
+			return a.Set.Len() - b.Set.Len()
 		}
-		return a.Set.Key() < b.Set.Key()
+		return itemset.Compare(a.Set, b.Set)
 	})
-	r.byKey = make(map[string]int, len(r.Itemsets))
-	for _, fi := range r.Itemsets {
-		r.byKey[fi.Set.Key()] = fi.Support
+}
+
+// index returns the Key() -> Support map, building it on first use.
+func (r *Result) index() map[string]int {
+	if r.byKey == nil {
+		r.byKey = make(map[string]int, len(r.Itemsets))
+		for _, fi := range r.Itemsets {
+			r.byKey[fi.Set.Key()] = fi.Support
+		}
 	}
+	return r.byKey
 }
 
 // Support returns the mined support of s and whether s is frequent.
 func (r *Result) Support(s itemset.Itemset) (int, bool) {
-	v, ok := r.byKey[s.Key()]
+	v, ok := r.index()[s.Key()]
 	return v, ok
 }
 
@@ -75,6 +103,7 @@ func (r *Result) Len() int { return len(r.Itemsets) }
 // on the way to it does too.
 func (r *Result) Closed() *Result {
 	notClosed := make(map[string]bool)
+	byKey := r.index()
 	for _, fi := range r.Itemsets {
 		if fi.Set.Len() < 2 {
 			continue
@@ -82,7 +111,7 @@ func (r *Result) Closed() *Result {
 		items := fi.Set.Items()
 		for _, drop := range items {
 			sub := fi.Set.Without(drop)
-			if sup, ok := r.byKey[sub.Key()]; ok && sup == fi.Support {
+			if sup, ok := byKey[sub.Key()]; ok && sup == fi.Support {
 				notClosed[sub.Key()] = true
 			}
 		}

@@ -133,7 +133,20 @@ func (m *Miner) Database() *itemset.Database {
 
 // Frequent returns the frequent itemsets of the current window.
 func (m *Miner) Frequent() *mining.Result {
+	return m.FrequentInto(nil)
+}
+
+// FrequentInto is Frequent recycling the storage of a previous window's
+// result: recycled's itemset buffer is truncated and refilled in place, so
+// a steady-state snapshot costs no allocation beyond occasional buffer
+// growth. A nil recycled allocates fresh. The caller must be done with
+// recycled's previous contents — the pipeline recycles a window's result
+// only after its sanitized output has been assembled.
+func (m *Miner) FrequentInto(recycled *mining.Result) *mining.Result {
 	var out []mining.FrequentItemset
+	if recycled != nil {
+		out = recycled.Itemsets[:0]
+	}
 	var walk func(n *node)
 	walk = func(n *node) {
 		for _, c := range n.children {
@@ -144,7 +157,7 @@ func (m *Miner) Frequent() *mining.Result {
 		}
 	}
 	walk(m.root)
-	return mining.NewResult(m.minSupport, out)
+	return mining.NewResultInto(recycled, m.minSupport, out)
 }
 
 // Closed returns the closed frequent itemsets of the current window — the

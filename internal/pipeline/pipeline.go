@@ -523,7 +523,16 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 // the final one. The window buffer is copied here, in the only stage that
 // owns the miner.
 func (r *runState) newMined(stream *core.Stream, pos int, published uint64, final bool) minedWindow {
-	m := minedWindow{position: pos, res: stream.Mine()}
+	// Snapshot into a recycled buffer from the freelist when one is ready
+	// (see runState.results); identical content either way.
+	var recycled *mining.Result
+	if !r.cfg.ClosedOnly {
+		select {
+		case recycled = <-r.results:
+		default:
+		}
+	}
+	m := minedWindow{position: pos, res: stream.MineInto(recycled)}
 	if r.ckpts == nil {
 		return m
 	}
@@ -638,6 +647,14 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			// mode the publisher is untouched and the snapshot simply
 			// records its initial state.
 			m.ckpt.Publisher = *stream.Publisher().Snapshot()
+		}
+		// The sanitized output is assembled; nothing downstream references
+		// the mining snapshot, so its buffer flows back to the mine stage.
+		if !r.cfg.ClosedOnly {
+			select {
+			case r.results <- m.res:
+			default:
+			}
 		}
 		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt, tr: m.tr}) {
 			return

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/mining"
 	"repro/internal/trace"
 )
 
@@ -116,6 +117,15 @@ type runState struct {
 	tracer      *trace.Tracer
 	resumeStart time.Time
 
+	// results is the window-buffer freelist between the perturb and mine
+	// stages: once a window's sanitized output is assembled, its
+	// *mining.Result — no longer referenced by anything downstream — flows
+	// back so the miner snapshots the next window into the same storage.
+	// Both ends are non-blocking sends/receives: an empty pool means mine
+	// allocates fresh, a full pool drops the buffer. Closed-only runs skip
+	// it (the closure filter derives fresh results regardless).
+	results chan *mining.Result
+
 	mu     sync.Mutex
 	err    error
 	report Report
@@ -123,8 +133,15 @@ type runState struct {
 
 func newRunState(ctx context.Context, cfg Config) *runState {
 	rctx, cancel := context.WithCancel(ctx)
+	buffer := cfg.Buffer
+	if buffer == 0 {
+		buffer = 4
+	}
 	return &runState{cfg: cfg, ctx: rctx, cancel: cancel,
-		metrics: newPipeMetrics(cfg.Metrics), tracer: cfg.Trace}
+		metrics: newPipeMetrics(cfg.Metrics), tracer: cfg.Trace,
+		// Capacity covers every in-flight window (both channels plus the
+		// stages' hands) so steady state recycles rather than drops.
+		results: make(chan *mining.Result, 2*buffer+4)}
 }
 
 // fail records err as the run's failure — the first caller wins, every

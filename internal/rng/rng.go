@@ -116,6 +116,34 @@ func (s *Source) IntRange(lo, hi int) int {
 	return lo + s.Intn(hi-lo+1)
 }
 
+// FillIntRange fills dst with uniform integers in the inclusive interval
+// [lo, hi], drawing exactly the sequence len(dst) successive IntRange(lo, hi)
+// calls would draw — same values, same cursor advance. It exists for the
+// publish hot path: one call amortizes the method dispatch and bounds checks
+// of a whole window's per-class draws without perturbing the draw order the
+// determinism contract freezes. It panics if lo > hi.
+func (s *Source) FillIntRange(lo, hi int, dst []int) {
+	if lo > hi {
+		panic("rng: FillIntRange with lo > hi")
+	}
+	max := uint64(hi - lo + 1)
+	limit := math.MaxUint64 - math.MaxUint64%max
+	state := s.state
+	for i := range dst {
+		for {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			if v := z ^ (z >> 31); v < limit {
+				dst[i] = lo + int(v%max)
+				break
+			}
+		}
+	}
+	s.state = state
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

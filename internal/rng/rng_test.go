@@ -353,3 +353,63 @@ func TestMarshalBinaryRoundTrip(t *testing.T) {
 		t.Fatal("short state accepted")
 	}
 }
+
+// TestFillIntRangeMatchesSequentialDraws pins the batch API's contract: a
+// single FillIntRange call must reproduce exactly the values AND the final
+// cursor of the equivalent IntRange loop, for assorted ranges (including
+// ones wide enough to exercise the rejection path) and batch sizes.
+func TestFillIntRangeMatchesSequentialDraws(t *testing.T) {
+	cases := []struct{ lo, hi int }{
+		{0, 0}, {-3, 3}, {-50, 50}, {0, 1}, {-1000000, 1000000}, {7, 7},
+	}
+	for _, tc := range cases {
+		for _, n := range []int{0, 1, 2, 7, 256} {
+			a := New(99)
+			b := New(99)
+			want := make([]int, n)
+			for i := range want {
+				want[i] = a.IntRange(tc.lo, tc.hi)
+			}
+			got := make([]int, n)
+			b.FillIntRange(tc.lo, tc.hi, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("[%d,%d] n=%d: batch[%d]=%d, sequential=%d",
+						tc.lo, tc.hi, n, i, got[i], want[i])
+				}
+			}
+			if a.State() != b.State() {
+				t.Fatalf("[%d,%d] n=%d: cursor diverged: %x vs %x",
+					tc.lo, tc.hi, n, a.State(), b.State())
+			}
+		}
+	}
+}
+
+// TestFillIntRangeRejectionPath forces the modulo-rejection loop (a range
+// size that does not divide 2^64) across many draws and checks bounds.
+func TestFillIntRangeRejectionPath(t *testing.T) {
+	s := New(5)
+	dst := make([]int, 4096)
+	s.FillIntRange(0, 2, dst) // 3 does not divide 2^64
+	for i, v := range dst {
+		if v < 0 || v > 2 {
+			t.Fatalf("dst[%d] = %d outside [0,2]", i, v)
+		}
+	}
+	ref := New(5)
+	for i := range dst {
+		if w := ref.IntRange(0, 2); w != dst[i] {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+}
+
+func TestFillIntRangePanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FillIntRange(3, 2) did not panic")
+		}
+	}()
+	New(1).FillIntRange(3, 2, make([]int, 1))
+}
