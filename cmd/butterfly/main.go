@@ -259,13 +259,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		mux := reg.Mux()
 		mux.Handle("/debug/trace/events", tracer.Handler())
-		// Slow-loris hardening: a client trickling its header or idling on
-		// a kept-alive connection cannot pin the server open past the
-		// graceful drain below.
+		// Slow-loris hardening: a client trickling its header, idling on a
+		// kept-alive connection, or never draining a response cannot pin
+		// the server open past the graceful drain below. The write timeout
+		// is generous because /debug/pprof/profile?seconds=N streams for
+		// the profile duration.
 		srv := &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 			IdleTimeout:       60 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			MaxHeaderBytes:    1 << 20,
 		}
 		logger.Info("telemetry listening", "addr", ln.Addr().String())
 		if telemetryStarted != nil {
@@ -519,21 +523,7 @@ func buildSource(input, gen string, n int, seed uint64, stdin io.Reader) (pipeli
 }
 
 func buildScheme(name string, lambda float64, gamma int) (core.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "basic":
-		return core.Basic{}, nil
-	case "order", "op":
-		return core.OrderPreserving{Gamma: gamma}, nil
-	case "ratio", "rp":
-		return core.RatioPreserving{}, nil
-	case "hybrid":
-		if lambda < 0 || lambda > 1 {
-			return nil, fmt.Errorf("lambda %v outside [0,1]", lambda)
-		}
-		return core.Hybrid{Lambda: lambda, Order: core.OrderPreserving{Gamma: gamma}}, nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (basic, order, ratio, hybrid)", name)
-	}
+	return core.SchemeByName(name, lambda, gamma)
 }
 
 func printWindow(w io.Writer, out *core.Output, vocab *data.Vocabulary, top, position, windowSize int) {

@@ -1,0 +1,151 @@
+package checkpoint
+
+// Lease files make per-stream checkpoint directories single-writer: a
+// long-running server hosting many streams acquires a lease on each
+// stream's directory before resuming or writing snapshots, so a
+// delete/resume race (or two processes adopting the same stream) cannot
+// interleave saves and corrupt the generation sequence.
+//
+// The lease is a small text file, `lease`, in the store directory:
+//
+//	<pid> <token> <owner>\n
+//
+// Acquisition is O_CREATE|O_EXCL — atomic on every filesystem the store
+// itself supports. A lease whose pid is no longer alive is stale (the
+// holding process was killed without releasing) and is stolen silently;
+// a lease held by a live process — including this one — is refused with
+// ErrLeaseHeld. Release removes the file only if it still carries this
+// lease's token, so a release racing a steal never removes the new
+// holder's lease.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// LeaseFileName is the lease file's name inside a checkpoint directory.
+const LeaseFileName = "lease"
+
+// ErrLeaseHeld reports that another live holder owns the directory.
+var ErrLeaseHeld = errors.New("checkpoint: lease held")
+
+// Lease is an acquired single-writer claim on a checkpoint directory.
+type Lease struct {
+	path  string
+	token string
+}
+
+// AcquireLease claims dir for owner (a human-readable tag, e.g. the stream
+// ID). It fails with an error wrapping ErrLeaseHeld when a live process
+// holds the lease, and silently steals a stale lease left by a dead one.
+// The directory is created if needed.
+func AcquireLease(dir, owner string) (*Lease, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty lease directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating lease directory: %w", err)
+	}
+	path := filepath.Join(dir, LeaseFileName)
+	tok := make([]byte, 8)
+	if _, err := rand.Read(tok); err != nil {
+		return nil, fmt.Errorf("checkpoint: lease token: %w", err)
+	}
+	l := &Lease{path: path, token: hex.EncodeToString(tok)}
+	body := fmt.Sprintf("%d %s %s\n", os.Getpid(), l.token, owner)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			if _, werr := f.WriteString(body); werr != nil {
+				f.Close()
+				os.Remove(path)
+				return nil, fmt.Errorf("checkpoint: writing lease: %w", werr)
+			}
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return nil, fmt.Errorf("checkpoint: writing lease: %w", cerr)
+			}
+			return l, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("checkpoint: acquiring lease: %w", err)
+		}
+		pid, _, holder, rerr := readLease(path)
+		if rerr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf("%w: %s held by pid %d (%s)", ErrLeaseHeld, dir, pid, holder)
+		}
+		// Unreadable or dead-holder lease: stale. Remove and retry once; a
+		// concurrent acquirer winning the race surfaces as ErrExist again,
+		// which the second O_EXCL attempt converts into ErrLeaseHeld.
+		if rmErr := os.Remove(path); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return nil, fmt.Errorf("checkpoint: removing stale lease: %w", rmErr)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (lost the steal race)", ErrLeaseHeld, dir)
+}
+
+// Release removes the lease file, provided it still carries this lease's
+// token. Releasing twice is a no-op.
+func (l *Lease) Release() error {
+	if l == nil {
+		return nil
+	}
+	_, token, _, err := readLease(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err == nil && token != l.token {
+		return nil // stolen after our process was presumed dead; not ours to remove
+	}
+	if rmErr := os.Remove(l.path); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: releasing lease: %w", rmErr)
+	}
+	return nil
+}
+
+// readLease parses a lease file into (pid, token, owner).
+func readLease(path string) (int, string, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, "", "", err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, "", "", fmt.Errorf("checkpoint: malformed lease %q", string(data))
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, "", "", fmt.Errorf("checkpoint: malformed lease pid %q", fields[0])
+	}
+	owner := ""
+	if len(fields) > 2 {
+		owner = fields[2]
+	}
+	return pid, fields[1], owner, nil
+}
+
+// pidAlive reports whether pid names a live process. Signal 0 probes
+// without delivering; EPERM still proves liveness. The current process is
+// always alive — a second in-process acquire is a real conflict, not a
+// stale lease.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	if pid == os.Getpid() {
+		return true
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

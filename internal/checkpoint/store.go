@@ -63,6 +63,13 @@ type Store struct {
 	// core.Publisher's chunkHook.
 	CrashHook func(point string, save int) bool
 
+	// OnSave, when non-nil, is called after each successful Save with the
+	// snapshot just persisted — the durability notification the multi-stream
+	// server uses to prune its in-memory replay buffers. It runs on the
+	// saving goroutine (the pipeline's emit stage), after the rename and
+	// prune have completed.
+	OnSave func(s *Snapshot)
+
 	saves int
 }
 
@@ -129,6 +136,9 @@ func (st *Store) Save(s *Snapshot) error {
 	}
 	syncDir(st.dir)
 	st.prune()
+	if st.OnSave != nil {
+		st.OnSave(s)
+	}
 	return nil
 }
 

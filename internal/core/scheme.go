@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/fec"
 )
@@ -535,4 +536,27 @@ func (h Hybrid) Biases(classes []fec.Class, p Params) []int {
 		out[i] = b
 	}
 	return out
+}
+
+// SchemeByName builds a bias scheme from its CLI/control-plane spelling:
+// "basic", "order"/"op" (with lookback gamma), "ratio"/"rp", or "hybrid"
+// (λ = lambda blending order against ratio). It is the single parser behind
+// cmd/butterfly's -scheme flag and the sanitization server's per-stream
+// stream configs, so the two surfaces cannot drift.
+func SchemeByName(name string, lambda float64, gamma int) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "basic":
+		return Basic{}, nil
+	case "order", "op":
+		return OrderPreserving{Gamma: gamma}, nil
+	case "ratio", "rp":
+		return RatioPreserving{}, nil
+	case "hybrid", "":
+		if lambda < 0 || lambda > 1 {
+			return nil, fmt.Errorf("core: hybrid lambda %v outside [0,1]", lambda)
+		}
+		return Hybrid{Lambda: lambda, Order: OrderPreserving{Gamma: gamma}}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q (basic, order, ratio, hybrid)", name)
+	}
 }

@@ -1,0 +1,73 @@
+package faultinject
+
+// HTTP-side fault injectors: hostile-client request bodies for exercising a
+// server's ingest path. Like the source/sink wrappers, they are fully
+// deterministic — schedules are keyed by byte position and fixed delays,
+// never randomness — so a chaos test that uses them is exactly
+// reproducible.
+
+import (
+	"io"
+	"time"
+)
+
+// SlowReader wraps r so that reads trickle: at most chunk bytes are
+// returned per Read, and every read after the first sleeps delay first —
+// the slow-loris client that keeps a request body open far longer than its
+// size warrants. chunk <= 0 defaults to 1.
+func SlowReader(r io.Reader, chunk int, delay time.Duration) io.Reader {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &slowReader{r: r, chunk: chunk, delay: delay}
+}
+
+type slowReader struct {
+	r     io.Reader
+	chunk int
+	delay time.Duration
+	reads int
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	if s.reads > 0 && s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.reads++
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.r.Read(p)
+}
+
+// HaltReader wraps r so the body breaks off after n bytes with err — the
+// client whose connection dropped mid-upload. A nil err defaults to
+// io.ErrUnexpectedEOF, which is what a server reading a truncated HTTP/1.1
+// body observes.
+func HaltReader(r io.Reader, n int, err error) io.Reader {
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return &haltReader{r: r, left: n, err: err}
+}
+
+type haltReader struct {
+	r    io.Reader
+	left int
+	err  error
+}
+
+func (h *haltReader) Read(p []byte) (int, error) {
+	if h.left <= 0 {
+		return 0, h.err
+	}
+	if len(p) > h.left {
+		p = p[:h.left]
+	}
+	n, err := h.r.Read(p)
+	h.left -= n
+	if err == nil && h.left <= 0 {
+		err = h.err
+	}
+	return n, err
+}

@@ -1,0 +1,55 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowReaderTricklesAndCompletes(t *testing.T) {
+	const payload = "a b c\nd e f\n"
+	sr := SlowReader(strings.NewReader(payload), 3, 0)
+	buf := make([]byte, 64)
+	n, err := sr.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("first read = (%d, %v), want (3, nil)", n, err)
+	}
+	rest, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:3]) + string(rest); got != payload {
+		t.Fatalf("reassembled %q, want %q", got, payload)
+	}
+}
+
+func TestSlowReaderDelays(t *testing.T) {
+	sr := SlowReader(strings.NewReader("abcdef"), 2, 20*time.Millisecond)
+	t0 := time.Now()
+	if _, err := io.ReadAll(sr); err != nil {
+		t.Fatal(err)
+	}
+	// 3 chunks: delays before reads 2 and 3 (the first is free).
+	if took := time.Since(t0); took < 40*time.Millisecond {
+		t.Fatalf("6 bytes at 2/read with 20ms delay took only %v", took)
+	}
+}
+
+func TestHaltReaderBreaksOff(t *testing.T) {
+	boom := errors.New("connection reset")
+	hr := HaltReader(strings.NewReader("0123456789"), 4, boom)
+	got, err := io.ReadAll(hr)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected %v", err, boom)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q before halting, want %q", got, "0123")
+	}
+	// Default error is the truncated-body one a server actually sees.
+	hr = HaltReader(strings.NewReader("xy"), 1, nil)
+	if _, err := io.ReadAll(hr); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("default halt error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

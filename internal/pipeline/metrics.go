@@ -28,6 +28,16 @@ const (
 	MetricWindowSets    = "butterfly_window_itemsets"
 )
 
+// RegisterMetrics pre-registers the pipeline's full instrument set on reg
+// without running a stream — registration alone defines the namespace. The
+// cross-package observability doc-sync test uses this to assemble the
+// complete metric surface (pipeline + publisher + tracer + server) in one
+// registry; a run with Config.Metrics = reg registers the same names
+// idempotently.
+func RegisterMetrics(reg *telemetry.Registry) {
+	newPipeMetrics(reg)
+}
+
 // pipeMetrics holds the pipeline's registered instruments. A nil
 // *pipeMetrics disables recording.
 type pipeMetrics struct {

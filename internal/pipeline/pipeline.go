@@ -132,6 +132,15 @@ type Config struct {
 	// is byte-identical with Metrics set or nil at every worker count.
 	Metrics *telemetry.Registry
 
+	// Warnf, when non-nil, receives the warnings the run absorbs without
+	// failing — today the checkpoint store's corruption-fallback and prune
+	// notices when the store is built here from CheckpointDir. Callers that
+	// pass a pre-built store via Checkpoints keep wiring Store.Logf
+	// themselves; callers that only hand over a directory previously lost
+	// these warnings entirely (they bypassed the CLI's structured
+	// statusLogger). Route it into a *slog.Logger or equivalent.
+	Warnf func(format string, args ...any)
+
 	// Trace, when non-nil, records each published window into the
 	// in-process flight recorder: a root span per window with child spans
 	// for source/mine/perturb/emit/checkpoint.save (and resume after a
@@ -345,6 +354,9 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 		if err != nil {
 			return nil, err
 		}
+		// A store built here would otherwise swallow its corruption-fallback
+		// and prune warnings; hand them to the caller's logger.
+		run.ckpts.Logf = p.cfg.Warnf
 	}
 	run.ckptEvery = p.cfg.CheckpointEvery
 	if run.ckptEvery <= 0 {

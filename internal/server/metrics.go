@@ -1,0 +1,141 @@
+package server
+
+// Server-layer telemetry: stream lifecycle gauges, admission/backpressure
+// rejection counters, restart/quarantine counters, and per-stream labeled
+// throughput counters. Like the pipeline's instruments these are strictly
+// observational — the differential suite pins server-hosted output
+// byte-identical to standalone runs with metrics on.
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server metric names (see OBSERVABILITY.md for the full reference).
+const (
+	MetricStreams          = "butterfly_server_streams"
+	MetricIngestRejections = "butterfly_server_ingest_rejections_total"
+	MetricInflightBytes    = "butterfly_server_inflight_bytes"
+	MetricRestarts         = "butterfly_server_restarts_total"
+	MetricQuarantines      = "butterfly_server_quarantines_total"
+	MetricStreamRecords    = "butterfly_server_stream_records_total"
+	MetricStreamWindows    = "butterfly_server_stream_windows_total"
+	MetricDrainSeconds     = "butterfly_server_drain_seconds"
+)
+
+// Ingest rejection reasons (the MetricIngestRejections label values).
+const (
+	rejectBackpressure = "backpressure"
+	rejectOverload     = "overload"
+	rejectClosed       = "closed"
+	rejectPaused       = "paused"
+	rejectQuarantined  = "quarantined"
+)
+
+// RegisterMetrics pre-registers the server's instrument namespace on reg
+// (with placeholder label values for the labeled families) so the
+// observability doc-sync test can assemble the full metric surface without
+// standing up a server.
+func RegisterMetrics(reg *telemetry.Registry) {
+	m := newServerMetrics(reg)
+	m.rejection(rejectBackpressure)
+	m.streamCounters("example")
+}
+
+// serverMetrics holds the registered instruments; a nil *serverMetrics
+// disables recording (Options.Registry == nil).
+type serverMetrics struct {
+	reg        *telemetry.Registry
+	byState    map[string]*telemetry.Gauge
+	inflight   *telemetry.Gauge
+	restarts   *telemetry.Counter
+	quarantine *telemetry.Counter
+	drainDur   *telemetry.Gauge
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	byState := map[string]*telemetry.Gauge{}
+	for _, state := range []string{StateRunning, StatePaused, StateQuarantined, StateDone, StateFailed} {
+		byState[state] = reg.Gauge(MetricStreams,
+			"Hosted streams by lifecycle state.", telemetry.Labels{"state": state})
+	}
+	return &serverMetrics{
+		reg:     reg,
+		byState: byState,
+		inflight: reg.Gauge(MetricInflightBytes,
+			"Approximate bytes queued across every stream's ingest queue.", nil),
+		restarts: reg.Counter(MetricRestarts,
+			"In-process stream restarts after a failed run (checkpoint + replay).", nil),
+		quarantine: reg.Counter(MetricQuarantines,
+			"Streams quarantined by the circuit breaker or an impossible restart.", nil),
+		drainDur: reg.Gauge(MetricDrainSeconds,
+			"Wall time of the last graceful drain across all streams.", nil),
+	}
+}
+
+// moveState shifts one stream between lifecycle-state gauges; prev == ""
+// counts a newly created stream.
+func (m *serverMetrics) moveState(prev, next string) {
+	if m == nil {
+		return
+	}
+	if g := m.byState[prev]; g != nil {
+		g.Add(-1)
+	}
+	if g := m.byState[next]; g != nil {
+		g.Add(1)
+	}
+}
+
+// rejection returns the labeled ingest-rejection counter for a reason
+// (never nil; unregistered when metrics are off).
+func (m *serverMetrics) rejection(reason string) *telemetry.Counter {
+	if m == nil {
+		return &telemetry.Counter{}
+	}
+	return m.reg.Counter(MetricIngestRejections,
+		"Ingest requests rejected, by reason.", telemetry.Labels{"reason": reason})
+}
+
+// streamCounters returns the per-stream labeled throughput counters
+// (never nil; unregistered when metrics are off).
+func (m *serverMetrics) streamCounters(id string) (records, windows *telemetry.Counter) {
+	if m == nil {
+		return &telemetry.Counter{}, &telemetry.Counter{}
+	}
+	records = m.reg.Counter(MetricStreamRecords,
+		"Well-formed records accepted into a stream's ingest queue.",
+		telemetry.Labels{"stream": id})
+	windows = m.reg.Counter(MetricStreamWindows,
+		"Sanitized windows published by a stream.",
+		telemetry.Labels{"stream": id})
+	return records, windows
+}
+
+func (m *serverMetrics) setInflight(v int64) {
+	if m != nil {
+		m.inflight.Set(float64(v))
+	}
+}
+
+func (m *serverMetrics) addRestart() {
+	if m != nil {
+		m.restarts.Inc()
+	}
+}
+
+func (m *serverMetrics) addQuarantine() {
+	if m != nil {
+		m.quarantine.Inc()
+	}
+}
+
+func (m *serverMetrics) observeDrain(took time.Duration) {
+	if m != nil {
+		m.drainDur.Set(took.Seconds())
+	}
+}

@@ -1,0 +1,745 @@
+// Package server hosts many independent Butterfly sanitization streams in
+// one long-running process: a sharded stream registry, an HTTP ingest path
+// with backpressure and admission control, per-stream fault budgets with a
+// circuit breaker that quarantines a misbehaving stream instead of killing
+// the process, and a graceful drain that checkpoints every stream
+// concurrently under a deadline.
+//
+// Isolation contract: each hosted stream runs the exact supervised
+// pipeline a standalone cmd/butterfly process would run — same miner, same
+// publisher, same checkpoint format, its own seed and vocabulary — so the
+// windows it publishes are byte-identical to an independent single-stream
+// run over the same records (the differential suite pins this, fault
+// injection and all). Neighbors share nothing but the process: a stream
+// that panics, stalls, or exhausts its fault budget is restarted from its
+// own checkpoint or quarantined, and the streams around it never notice.
+//
+// Restart determinism: an in-process restart resumes from the newest
+// checkpoint plus a retained replay buffer of the records consumed since
+// it was written (pruned on every checkpoint save via the store's OnSave
+// hook). If the buffer cannot bridge the gap — it overflowed ReplayLimit,
+// or the newest readable checkpoint is older than the prune horizon — the
+// stream is quarantined rather than restarted wrong: no replay, no resume.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Options configures a Server. The zero value is usable: every limit has a
+// default, checkpointing is off without a CheckpointRoot, and logging and
+// telemetry are off without a Logger/Registry.
+type Options struct {
+	// CheckpointRoot, when non-empty, enables per-stream crash-safe
+	// checkpointing under CheckpointRoot/<stream-id>/, each directory
+	// guarded by an exclusive lease so two servers (or a delete/resume
+	// race) cannot interleave writes.
+	CheckpointRoot string
+	// MaxStreams caps concurrently hosted streams (default 1024); create
+	// beyond it is refused with 503.
+	MaxStreams int
+	// MaxInflightBytes caps the approximate memory queued across every
+	// stream's ingest queue (default 256 MiB); ingest beyond it is refused
+	// with 503 until the pipelines drain.
+	MaxInflightBytes int64
+	// QueueDepth is the default per-stream ingest queue depth in records
+	// (default 1024); a full queue refuses ingest with 429.
+	QueueDepth int
+	// History is the default number of published windows retained per
+	// stream for GET /windows (default 64).
+	History int
+	// BreakerFailures is the circuit breaker threshold K: consecutive
+	// failed runs without a published window before a stream is
+	// quarantined instead of restarted (default 3).
+	BreakerFailures int
+	// RestartBackoff is the initial delay before an in-process restart,
+	// doubling per consecutive failure (default 25ms).
+	RestartBackoff time.Duration
+	// ReplayLimit caps the per-stream replay buffer in records (default
+	// 65536). A stream that outruns it between checkpoints loses in-process
+	// restartability and quarantines on its next failure.
+	ReplayLimit int
+	// Shards is the registry shard count (default 16).
+	Shards int
+	// DrainTimeout is the default graceful-drain deadline used by callers
+	// that pass Shutdown a background context (default 30s).
+	DrainTimeout time.Duration
+	// Logger receives structured lifecycle and warning logs (nil = off).
+	Logger *slog.Logger
+	// Registry receives server and pipeline telemetry (nil = off).
+	Registry *telemetry.Registry
+	// Owner names this process in checkpoint lease files (default
+	// "butterflyd").
+	Owner string
+
+	// WrapSource and WrapSink, when non-nil, wrap each stream's record
+	// source / emit sink on every (re)start — the chaos suite's injection
+	// seam. Both must preserve the wrapped value's semantics when passing
+	// through.
+	WrapSource func(id string, src pipeline.RecordSource) pipeline.RecordSource
+	WrapSink   func(id string, emit func(pipeline.Window) error) func(pipeline.Window) error
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 1024
+	}
+	if o.MaxInflightBytes <= 0 {
+		o.MaxInflightBytes = 256 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.History <= 0 {
+		o.History = 64
+	}
+	if o.BreakerFailures <= 0 {
+		o.BreakerFailures = 3
+	}
+	if o.RestartBackoff <= 0 {
+		o.RestartBackoff = 25 * time.Millisecond
+	}
+	if o.ReplayLimit <= 0 {
+		o.ReplayLimit = 65536
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.Owner == "" {
+		o.Owner = "butterflyd"
+	}
+}
+
+// Server is the multi-stream sanitization host.
+type Server struct {
+	opts    Options
+	log     *slog.Logger
+	metrics *serverMetrics
+
+	shards   []*shard
+	nstreams atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	ctx    context.Context // parent of every stream's run context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // live supervisor goroutines
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*stream
+}
+
+// New builds a Server. It never binds a socket itself — install the
+// control plane on a mux with Routes and serve that however fits.
+func New(opts Options) *Server {
+	opts.setDefaults()
+	s := &Server{
+		opts:    opts,
+		log:     opts.Logger,
+		metrics: newServerMetrics(opts.Registry),
+	}
+	if opts.Registry != nil {
+		// The hosted pipelines share the registry; registering here keeps
+		// /metrics complete before the first stream runs.
+		pipeline.RegisterMetrics(opts.Registry)
+	}
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{m: map[string]*stream{}}
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s
+}
+
+func (s *Server) shard(id string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, id)
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+func (s *Server) get(id string) *stream {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.m[id]
+}
+
+// all snapshots the registry (sorted by id, for stable listings and drain
+// logs).
+func (s *Server) all() []*stream {
+	var out []*stream
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, st := range sh.m {
+			out = append(out, st)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// StreamCount returns the number of hosted streams (all states).
+func (s *Server) StreamCount() int { return int(s.nstreams.Load()) }
+
+// addInflight adjusts the server-wide queued-bytes accounting.
+func (s *Server) addInflight(d int64) {
+	s.metrics.setInflight(s.inflight.Add(d))
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	errDraining       = errors.New("server is draining")
+	errTooManyStreams = errors.New("max-streams cap reached")
+	errStreamExists   = errors.New("stream already exists")
+	errStreamNotFound = errors.New("stream not found")
+)
+
+// StreamConfig is the create-stream request: the standalone pipeline's
+// knobs plus the stream's service envelope (queue depth, history, resume).
+type StreamConfig struct {
+	ID string `json:"id"`
+
+	// Pipeline configuration (see cmd/butterfly's flags of the same names).
+	Window       int     `json:"window"`
+	Epsilon      float64 `json:"epsilon"`
+	Delta        float64 `json:"delta"`
+	MinSupport   int     `json:"min_support"`
+	VulnSupport  int     `json:"vuln_support"`
+	Scheme       string  `json:"scheme"`
+	Lambda       float64 `json:"lambda"`
+	Gamma        int     `json:"gamma"`
+	Seed         uint64  `json:"seed"`
+	PublishEvery int     `json:"publish_every"`
+	Workers      int     `json:"workers"`
+	ClosedOnly   bool    `json:"closed_only"`
+	Raw          bool    `json:"raw"`
+
+	// Fault budgets (per-tenant): malformed records tolerated before the
+	// run fails (0 fails on the first, -1 is unlimited), and transient
+	// emit/source retries per window.
+	MaxBadRecords int `json:"max_bad_records"`
+	EmitRetries   int `json:"emit_retries"`
+
+	// Service envelope. Zero values take the server-wide defaults.
+	QueueDepth      int `json:"queue_depth"`
+	History         int `json:"history"`
+	CheckpointEvery int `json:"checkpoint_every"`
+	CheckpointKeep  int `json:"checkpoint_keep"`
+	TraceWindows    int `json:"trace_windows"`
+	// Resume restores the stream from its newest checkpoint. The client
+	// must then replay the stream's records from the beginning — the
+	// pipeline discards the already-published prefix and continues
+	// byte-identically (see pipeline.Config.Resume).
+	Resume bool `json:"resume"`
+}
+
+// streamIDPattern admits ids that are safe as checkpoint directory names
+// and URL path segments.
+var streamIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+func validateStreamID(id string) error {
+	if !streamIDPattern.MatchString(id) {
+		return fmt.Errorf("stream id %q: want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric", id)
+	}
+	return nil
+}
+
+// validate checks the service envelope; pipeline knobs are validated by
+// pipeline.New when the config is assembled.
+func (c StreamConfig) validate() error {
+	if err := validateStreamID(c.ID); err != nil {
+		return err
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("negative queue depth %d", c.QueueDepth)
+	}
+	if c.History < 0 {
+		return fmt.Errorf("negative history %d", c.History)
+	}
+	if c.TraceWindows < 0 {
+		return fmt.Errorf("negative trace windows %d", c.TraceWindows)
+	}
+	return nil
+}
+
+// StreamStatus is the control plane's view of one stream.
+type StreamStatus struct {
+	ID                  string `json:"id"`
+	State               string `json:"state"`
+	LastError           string `json:"last_error,omitempty"`
+	RecordsAccepted     uint64 `json:"records_accepted"`
+	RecordsConsumed     uint64 `json:"records_consumed"`
+	BadRecords          uint64 `json:"bad_records"`
+	QueueLen            int    `json:"queue_len"`
+	QueueCap            int    `json:"queue_cap"`
+	WindowsRetained     int    `json:"windows_retained"`
+	Restarts            int    `json:"restarts"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	CheckpointRecords   uint64 `json:"checkpoint_records"`
+	Workers             int    `json:"workers"`
+	Scheme              string `json:"scheme"`
+}
+
+// Create admits and starts a stream. The returned status reflects the
+// stream just after start.
+func (s *Server) Create(cfg StreamConfig) (StreamStatus, error) {
+	if s.draining.Load() {
+		return StreamStatus{}, errDraining
+	}
+	if err := cfg.validate(); err != nil {
+		return StreamStatus{}, err
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = s.opts.QueueDepth
+	}
+	if cfg.History == 0 {
+		cfg.History = s.opts.History
+	}
+	scheme, err := core.SchemeByName(cfg.Scheme, cfg.Lambda, cfg.Gamma)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	if s.get(cfg.ID) != nil {
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamExists, cfg.ID)
+	}
+	// Admission: reserve a slot before doing any expensive setup.
+	if s.nstreams.Add(1) > int64(s.opts.MaxStreams) {
+		s.nstreams.Add(-1)
+		return StreamStatus{}, fmt.Errorf("%w (%d)", errTooManyStreams, s.opts.MaxStreams)
+	}
+	undo := func() { s.nstreams.Add(-1) }
+
+	st := &stream{
+		id:       cfg.ID,
+		cfg:      cfg,
+		srv:      s,
+		vocab:    data.NewVocabulary(),
+		queue:    make(chan queueItem, cfg.QueueDepth),
+		state:    StateRunning,
+		unpaused: closedChan,
+		done:     make(chan struct{}),
+	}
+	st.mRecords, st.mWindows = s.metrics.streamCounters(cfg.ID)
+	st.runCtx, st.stop = context.WithCancel(s.ctx)
+	if cfg.TraceWindows > 0 {
+		st.tracer = trace.New(trace.Options{Windows: cfg.TraceWindows})
+	}
+
+	warnf := func(format string, args ...any) {
+		s.log.Warn(fmt.Sprintf(format, args...), "stream", cfg.ID)
+	}
+	st.pipeCfg = pipeline.Config{
+		WindowSize: cfg.Window,
+		Params: core.Params{
+			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
+			MinSupport: cfg.MinSupport, VulnSupport: cfg.VulnSupport,
+		},
+		Scheme:          scheme,
+		Seed:            cfg.Seed,
+		ClosedOnly:      cfg.ClosedOnly,
+		Raw:             cfg.Raw,
+		PublishEvery:    cfg.PublishEvery,
+		Workers:         cfg.Workers,
+		MaxBadRecords:   cfg.MaxBadRecords,
+		EmitRetries:     cfg.EmitRetries,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointKeep:  cfg.CheckpointKeep,
+		Metrics:         s.opts.Registry,
+		Warnf:           warnf,
+		Trace:           st.tracer,
+	}
+
+	if s.opts.CheckpointRoot != "" {
+		dir := filepath.Join(s.opts.CheckpointRoot, cfg.ID)
+		lease, err := checkpoint.AcquireLease(dir, s.opts.Owner)
+		if err != nil {
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: %w", cfg.ID, err)
+		}
+		store, err := checkpoint.NewStore(dir, cfg.CheckpointKeep)
+		if err != nil {
+			lease.Release()
+			undo()
+			return StreamStatus{}, err
+		}
+		store.Logf = warnf
+		store.OnSave = st.pruneRetained
+		st.store, st.lease = store, lease
+	}
+
+	var snap *checkpoint.Snapshot
+	if cfg.Resume {
+		if st.store == nil {
+			st.releaseLease()
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: resume requires a server checkpoint root", cfg.ID)
+		}
+		snap, _, err = st.store.Latest()
+		if err != nil {
+			st.releaseLease()
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: loading resume checkpoint: %w", cfg.ID, err)
+		}
+		if snap == nil {
+			st.releaseLease()
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: no checkpoint to resume from", cfg.ID)
+		}
+		st.lastCkpt = snap.Records
+	}
+
+	// Validate the full pipeline config (params, window, budgets, resume
+	// fingerprint) before the stream becomes visible.
+	vcfg := st.pipeCfg
+	vcfg.Checkpoints = st.store
+	vcfg.Resume = snap
+	if _, err := pipeline.New(vcfg); err != nil {
+		st.releaseLease()
+		undo()
+		return StreamStatus{}, err
+	}
+
+	sh := s.shard(cfg.ID)
+	sh.mu.Lock()
+	if _, dup := sh.m[cfg.ID]; dup {
+		sh.mu.Unlock()
+		st.releaseLease()
+		undo()
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamExists, cfg.ID)
+	}
+	sh.m[cfg.ID] = st
+	sh.mu.Unlock()
+
+	s.metrics.moveState("", StateRunning)
+	s.wg.Add(1)
+	go s.supervise(st, snap, 0, nil)
+	s.log.Info("stream created", "stream", cfg.ID, "resume", cfg.Resume,
+		"queue_depth", cfg.QueueDepth, "workers", cfg.Workers)
+	return st.status(), nil
+}
+
+// supervise runs one supervision session: the pipeline run loop with
+// checkpoint+replay restarts and the circuit breaker. snap/synth/replay
+// describe the starting point (see stream.buildRestart).
+func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, replay []queueItem) {
+	defer s.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			// The pipeline recovers its own stage panics; this guards the
+			// supervision scaffolding itself so one stream's bug can never
+			// take down its neighbors.
+			st.setState(StateQuarantined, fmt.Errorf("supervisor panic: %v", v))
+			s.metrics.addQuarantine()
+			s.log.Error("supervisor panic", "stream", st.id, "panic", fmt.Sprint(v))
+		}
+		st.mu.Lock()
+		done := st.done
+		st.mu.Unlock()
+		close(done)
+	}()
+	for {
+		cfg := st.pipeCfg
+		cfg.Resume = snap
+		cfg.Checkpoints = st.store
+		st.progress.Store(false)
+		p, err := pipeline.New(cfg)
+		if err != nil {
+			// Create validated this exact config; reaching here means the
+			// restart inputs are inconsistent — not retryable.
+			st.setState(StateQuarantined, err)
+			s.metrics.addQuarantine()
+			s.log.Error("stream config rejected on restart", "stream", st.id, "error", err.Error())
+			return
+		}
+		runCtx, cancelRun := context.WithCancel(st.runCtx)
+		qs := newQueueSource(st, runCtx, synth, replay)
+		var src pipeline.RecordSource = qs
+		if s.opts.WrapSource != nil {
+			src = s.opts.WrapSource(st.id, src)
+		}
+		emit := st.emit
+		if s.opts.WrapSink != nil {
+			emit = s.opts.WrapSink(st.id, emit)
+		}
+		_, runErr := p.RunContext(runCtx, src, emit)
+		// A failed RunContext can return while the mine stage is still
+		// inside a source read; retire the source and wait for that read to
+		// land before inspecting consumption state, or the record it dequeues
+		// would miss the replay buffer and be dropped from the stream.
+		qs.retire(cancelRun)
+		if runErr == nil {
+			st.setState(StateDone, nil)
+			s.log.Info("stream drained", "stream", st.id)
+			return
+		}
+		if st.runCtx.Err() != nil {
+			// Deleted or server-aborted; nothing to restart.
+			st.setState(StateFailed, runErr)
+			return
+		}
+		if errors.Is(runErr, pipeline.ErrShortStream) {
+			// Closed before the first window ever filled — a property of
+			// the input, not a fault; restarting cannot help.
+			st.setState(StateFailed, runErr)
+			s.log.Warn("stream closed short", "stream", st.id, "error", runErr.Error())
+			return
+		}
+		st.mu.Lock()
+		if st.progress.Load() {
+			st.consecFails = 0
+		}
+		st.consecFails++
+		st.restarts++
+		fails := st.consecFails
+		st.mu.Unlock()
+		s.metrics.addRestart()
+		s.log.Warn("stream run failed", "stream", st.id,
+			"error", runErr.Error(), "consecutive_failures", fails)
+		if fails >= s.opts.BreakerFailures {
+			st.setState(StateQuarantined, runErr)
+			s.metrics.addQuarantine()
+			s.log.Error("stream quarantined", "stream", st.id,
+				"error", runErr.Error(), "failures", fails)
+			return
+		}
+		var rerr error
+		snap, synth, replay, rerr = st.buildRestart()
+		if rerr != nil {
+			st.setState(StateQuarantined, fmt.Errorf("%v (restart impossible: %v)", runErr, rerr))
+			s.metrics.addQuarantine()
+			s.log.Error("stream restart impossible", "stream", st.id, "error", rerr.Error())
+			return
+		}
+		backoff := s.opts.RestartBackoff << (fails - 1)
+		select {
+		case <-time.After(backoff):
+		case <-st.runCtx.Done():
+			st.setState(StateFailed, st.runCtx.Err())
+			return
+		}
+	}
+}
+
+// Status returns one stream's status.
+func (s *Server) Status(id string) (StreamStatus, error) {
+	st := s.get(id)
+	if st == nil {
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamNotFound, id)
+	}
+	return st.status(), nil
+}
+
+// List returns every hosted stream's status, sorted by id.
+func (s *Server) List() []StreamStatus {
+	streams := s.all()
+	out := make([]StreamStatus, 0, len(streams))
+	for _, st := range streams {
+		out = append(out, st.status())
+	}
+	return out
+}
+
+// Pause gates a running stream: ingest is refused and the source stops
+// delivering; windows already inside the pipeline still complete.
+func (s *Server) Pause(id string) (StreamStatus, error) {
+	st := s.get(id)
+	if st == nil {
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamNotFound, id)
+	}
+	if err := st.pause(); err != nil {
+		return StreamStatus{}, err
+	}
+	s.log.Info("stream paused", "stream", id)
+	return st.status(), nil
+}
+
+// Resume unpauses a paused stream, or resets a quarantined stream's
+// breaker and restarts it from its newest checkpoint + replay buffer.
+func (s *Server) Resume(id string) (StreamStatus, error) {
+	if s.draining.Load() {
+		return StreamStatus{}, errDraining
+	}
+	st := s.get(id)
+	if st == nil {
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamNotFound, id)
+	}
+	switch st.currentState() {
+	case StatePaused:
+		st.unpause()
+		s.log.Info("stream resumed", "stream", id)
+		return st.status(), nil
+	case StateQuarantined:
+		snap, synth, replay, err := st.buildRestart()
+		if err != nil {
+			return StreamStatus{}, fmt.Errorf("stream %s cannot restart: %w", id, err)
+		}
+		// Re-check under the lock so two concurrent resumes cannot spawn
+		// two supervisors for one stream.
+		st.mu.Lock()
+		if st.state != StateQuarantined {
+			state := st.state
+			st.mu.Unlock()
+			return StreamStatus{}, fmt.Errorf("stream %s is no longer quarantined (%s)", id, state)
+		}
+		st.state = StateRunning
+		st.consecFails = 0
+		st.done = make(chan struct{})
+		st.mu.Unlock()
+		s.metrics.moveState(StateQuarantined, StateRunning)
+		s.wg.Add(1)
+		go s.supervise(st, snap, synth, replay)
+		s.log.Info("stream un-quarantined", "stream", id)
+		return st.status(), nil
+	default:
+		return StreamStatus{}, fmt.Errorf("stream %s is %s; resume applies to %s or %s streams",
+			id, st.currentState(), StatePaused, StateQuarantined)
+	}
+}
+
+// CloseIngest ends a stream's input: the pipeline drains the queue,
+// publishes the final window, and writes the final checkpoint.
+func (s *Server) CloseIngest(id string) (StreamStatus, error) {
+	st := s.get(id)
+	if st == nil {
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamNotFound, id)
+	}
+	st.unpause() // a paused stream must still be able to drain
+	st.closeIngest()
+	s.log.Info("stream ingest closed", "stream", id)
+	return st.status(), nil
+}
+
+// Delete stops a stream promptly (no final drain — use CloseIngest first
+// for a graceful end) and removes it from the registry. The checkpoint
+// directory is left on disk for a later resume.
+func (s *Server) Delete(id string) error {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	st := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("%w: %s", errStreamNotFound, id)
+	}
+	s.nstreams.Add(-1)
+	st.stop()
+	st.unpause()
+	<-st.runDone()
+	// closeIngest waits for any in-flight ingest request (they hold
+	// ingestMu for their whole body) so drainQueue below sees a closed,
+	// sender-free queue.
+	st.closeIngest()
+	st.drainQueue()
+	st.releaseLease()
+	s.metrics.moveState(st.currentState(), "")
+	s.log.Info("stream deleted", "stream", id)
+	return nil
+}
+
+// DrainReport summarizes a graceful shutdown: each stream's final state
+// ("done", or "state: error" for anything less clean).
+type DrainReport struct {
+	Streams map[string]string
+	Clean   bool
+	Took    time.Duration
+}
+
+// Shutdown drains every stream concurrently: ingest closes, pipelines
+// publish their final windows and checkpoints, leases release. Streams
+// that outlive ctx are cancelled hard (their newest checkpoint still makes
+// resume correct — the tail past it is simply republished on restart).
+func (s *Server) Shutdown(ctx context.Context) DrainReport {
+	s.draining.Store(true)
+	t0 := time.Now()
+	rep := DrainReport{Streams: map[string]string{}, Clean: true}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, st := range s.all() {
+		st := st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.unpause()
+			closed := make(chan struct{})
+			go func() {
+				// May block behind a slow in-flight ingest request; the
+				// deadline path below does not wait for it.
+				st.closeIngest()
+				close(closed)
+			}()
+			select {
+			case <-closed:
+			case <-ctx.Done():
+				st.stop()
+			}
+			select {
+			case <-st.runDone():
+			case <-ctx.Done():
+				st.stop()
+				<-st.runDone()
+			}
+			st.releaseLease()
+			state, lastErr := st.finalState()
+			mu.Lock()
+			defer mu.Unlock()
+			if state == StateDone {
+				rep.Streams[st.id] = state
+			} else {
+				rep.Streams[st.id] = state + ": " + lastErr
+				rep.Clean = false
+			}
+		}()
+	}
+	wg.Wait()
+	s.cancel()
+	s.wg.Wait()
+	rep.Took = time.Since(t0)
+	s.metrics.observeDrain(rep.Took)
+	s.log.Info("server drained", "streams", len(rep.Streams),
+		"clean", rep.Clean, "took", rep.Took.String())
+	return rep
+}
+
+// Abort cancels every stream immediately — the simulated crash: no final
+// windows, no final checkpoints. Leases are released (the process is
+// exiting on purpose); the stale-lease path covers real crashes.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	s.cancel()
+	streams := s.all()
+	for _, st := range streams {
+		st.unpause()
+	}
+	s.wg.Wait()
+	for _, st := range streams {
+		st.releaseLease()
+	}
+	s.log.Warn("server aborted", "streams", len(streams))
+}

@@ -1,0 +1,680 @@
+package server
+
+// Per-stream state: the ingest queue and its RecordSource adapter, the
+// pause gate, the replay buffer that makes in-process restarts
+// deterministic, the published-window store, and the stream state machine.
+// The Server (server.go) owns the registry and the supervision loop; the
+// HTTP layer (http.go) translates requests into the methods here.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/data"
+	"repro/internal/itemset"
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Stream states, as reported by the control plane.
+const (
+	// StateRunning: the supervised pipeline is live and consuming ingest.
+	StateRunning = "running"
+	// StatePaused: ingest is refused and the source gate is closed;
+	// windows already inside the pipeline still finish.
+	StatePaused = "paused"
+	// StateQuarantined: the circuit breaker tripped — BreakerFailures
+	// consecutive window failures without progress. The stream's state and
+	// windows remain inspectable; ingest is refused; a control-plane
+	// resume resets the breaker and restarts from the last checkpoint.
+	StateQuarantined = "quarantined"
+	// StateDone: the stream was closed and drained to its final window
+	// (and final checkpoint when checkpointing is on).
+	StateDone = "done"
+	// StateFailed: the run ended in a non-restartable way (for example a
+	// stream closed before its window ever filled).
+	StateFailed = "failed"
+)
+
+// queueItem is one ingest unit: a well-formed record, or a malformed line
+// carried as its *data.ParseError so the pipeline's bad-record budget sees
+// it exactly where it occurred in the stream.
+type queueItem struct {
+	rec itemset.Itemset
+	bad *data.ParseError
+	// seq is the count of well-formed records up to and including this
+	// item (a bad item carries the seq of the preceding good one) — the
+	// coordinate the replay buffer is pruned and restarted by.
+	seq uint64
+	// size is the item's approximate in-memory footprint, charged against
+	// the server-wide inflight-bytes admission cap.
+	size int64
+}
+
+func itemSize(it queueItem) int64 {
+	if it.bad != nil {
+		return 48
+	}
+	return 16 + 8*int64(it.rec.Len())
+}
+
+// publishedWindow is one sanitized release retained for GET /windows: the
+// stream position plus the rendered audit-format body (the same bytes
+// cmd/butterfly -dump-dir writes).
+type publishedWindow struct {
+	Position int    `json:"position"`
+	Body     string `json:"body"`
+}
+
+// stream is one hosted sanitized stream.
+type stream struct {
+	id  string
+	cfg StreamConfig
+	srv *Server
+
+	// Pipeline plumbing, fixed at creation. vocab is shared between the
+	// ingest handlers (interning) and the emit path (rendering); it is
+	// internally synchronized.
+	pipeCfg pipeline.Config
+	vocab   *data.Vocabulary
+	store   *checkpoint.Store
+	lease   *checkpoint.Lease
+	release sync.Once
+	tracer  *trace.Tracer
+
+	// Ingest: ingestMu serializes enqueues with the close of the queue
+	// (so a handler can never send on a closed channel) and makes
+	// concurrent POSTs to one stream append in lock-acquisition order.
+	ingestMu sync.Mutex
+	queue    chan queueItem
+	closed   bool   // ingest closed; queue drains to io.EOF
+	seq      uint64 // good records accepted (enqueued), under ingestMu
+	lineBase int    // lines accepted so far, offsets per-request ParseError line numbers
+
+	runCtx context.Context
+	stop   context.CancelFunc
+
+	// progress is set by emit whenever a window is delivered; the
+	// supervisor uses it to reset the consecutive-failure breaker.
+	progress atomic.Bool
+
+	// Per-stream labeled instruments (see metrics.go).
+	mRecords *telemetry.Counter
+	mWindows *telemetry.Counter
+
+	mu          sync.Mutex
+	state       string
+	lastErr     string
+	unpaused    chan struct{} // closed when not paused
+	done        chan struct{} // closed when the current supervision session exits
+	consumed    uint64        // good records pulled from the queue by the source
+	badSeen     uint64        // malformed lines accepted into the queue
+	retained    []queueItem   // consumed items not yet covered by a checkpoint
+	replayLost  bool          // retained overflowed ReplayLimit; restart is impossible
+	consecFails int
+	restarts    int
+	lastCkpt    uint64 // Records position of the newest checkpoint saved
+	windows     []publishedWindow
+	winTrunc    bool // oldest windows were evicted past the history limit
+}
+
+// closedChan is the shared always-open pause gate.
+var closedChan = func() chan struct{} { c := make(chan struct{}); close(c); return c }()
+
+// ---- state machine ----
+
+func (st *stream) setState(s string, lastErr error) {
+	st.mu.Lock()
+	prev := st.state
+	st.state = s
+	if lastErr != nil {
+		st.lastErr = lastErr.Error()
+	}
+	st.mu.Unlock()
+	if prev != s {
+		st.srv.metrics.moveState(prev, s)
+	}
+}
+
+func (st *stream) currentState() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state
+}
+
+// pause closes the source gate. Only a running stream can pause.
+func (st *stream) pause() error {
+	st.mu.Lock()
+	if st.state != StateRunning {
+		s := st.state
+		st.mu.Unlock()
+		return fmt.Errorf("stream is %s, not %s", s, StateRunning)
+	}
+	st.state = StatePaused
+	st.unpaused = make(chan struct{})
+	st.mu.Unlock()
+	st.srv.metrics.moveState(StateRunning, StatePaused)
+	return nil
+}
+
+// unpause reopens the source gate (idempotent; used by resume and drain).
+func (st *stream) unpause() {
+	st.mu.Lock()
+	wasPaused := st.state == StatePaused
+	if wasPaused {
+		st.state = StateRunning
+	}
+	ch := st.unpaused
+	st.unpaused = closedChan
+	st.mu.Unlock()
+	if ch != closedChan {
+		select {
+		case <-ch:
+		default:
+			close(ch)
+		}
+	}
+	if wasPaused {
+		st.srv.metrics.moveState(StatePaused, StateRunning)
+	}
+}
+
+// gate returns the channel a source read must wait on; it is closed
+// whenever the stream is not paused.
+func (st *stream) gate() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.unpaused
+}
+
+// runDone returns the channel closed when the current supervision session
+// exits (quarantine, done, failed, or stop).
+func (st *stream) runDone() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done
+}
+
+// ---- ingest ----
+
+// errStreamClosed / friends classify ingest rejections for the HTTP layer.
+var (
+	errStreamClosed      = fmt.Errorf("stream ingest is closed")
+	errStreamPaused      = fmt.Errorf("stream is paused")
+	errStreamQuarantined = fmt.Errorf("stream is quarantined")
+	errBackpressure      = fmt.Errorf("ingest queue full")
+	errOverload          = fmt.Errorf("server inflight-bytes cap reached")
+)
+
+// lineGuard releases bytes from an ingest body only up to the last '\n'
+// seen, holding back the trailing partial line. On clean EOF the held tail
+// is the client's final line and is flushed; when the body errors mid-read
+// (dropped connection, truncated upload) the tail is discarded — a record
+// cut off by the failure must never be committed, because the client
+// retries from its accepted offset with the complete line.
+type lineGuard struct {
+	r       io.Reader
+	chunk   []byte
+	pending []byte // bytes after the last delivered '\n'
+	out     []byte // complete lines ready to deliver
+	err     error  // terminal: io.EOF or the body error
+}
+
+func (g *lineGuard) Read(p []byte) (int, error) {
+	for len(g.out) == 0 {
+		if g.err != nil {
+			return 0, g.err
+		}
+		if g.chunk == nil {
+			g.chunk = make([]byte, 32*1024)
+		}
+		n, err := g.r.Read(g.chunk)
+		g.pending = append(g.pending, g.chunk[:n]...)
+		if i := bytes.LastIndexByte(g.pending, '\n'); i >= 0 {
+			g.out = append(g.out, g.pending[:i+1]...)
+			g.pending = g.pending[i+1:]
+		}
+		switch {
+		case err == io.EOF:
+			g.out = append(g.out, g.pending...)
+			g.pending = nil
+			g.err = io.EOF
+		case err != nil:
+			g.pending = nil
+			g.err = err
+		}
+	}
+	n := copy(p, g.out)
+	g.out = g.out[n:]
+	return n, nil
+}
+
+// ingest parses the request body incrementally (one transaction per line)
+// and enqueues records until the body ends, the per-stream queue fills
+// (backpressure), or the server-wide inflight cap is hit (overload). It
+// returns how many lines were accepted (good + bad); the caller maps err
+// to 429/503/4xx. Partial acceptance is the contract: the client retries
+// from its accepted offset.
+func (st *stream) ingest(body io.Reader) (accepted int, bad int, err error) {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	switch {
+	case st.closed:
+		return 0, 0, errStreamClosed
+	}
+	switch st.currentState() {
+	case StatePaused:
+		return 0, 0, errStreamPaused
+	case StateQuarantined:
+		return 0, 0, errStreamQuarantined
+	case StateFailed:
+		return 0, 0, errStreamClosed
+	}
+	tr := data.NewTransactionReader(&lineGuard{r: body}, st.vocab)
+	for {
+		rec, rerr := tr.Next()
+		var item queueItem
+		switch {
+		case rerr == io.EOF:
+			st.lineBase += tr.Line()
+			return accepted, bad, nil
+		case rerr == nil:
+			item = queueItem{rec: rec, seq: st.seq + 1}
+		default:
+			if pe, ok := rerr.(*data.ParseError); ok {
+				// Re-home the per-request line number onto the stream's
+				// cumulative line space for the quarantine audit trail.
+				item = queueItem{
+					bad: &data.ParseError{Line: st.lineBase + pe.Line, Token: pe.Token, Err: pe.Err},
+					seq: st.seq,
+				}
+				break
+			}
+			// The body itself failed mid-read (truncated upload, dropped
+			// client): everything accepted so far stays accepted.
+			st.lineBase += tr.Line()
+			return accepted, bad, fmt.Errorf("reading ingest body: %w", rerr)
+		}
+		item.size = itemSize(item)
+		if st.srv.inflight.Load()+item.size > st.srv.opts.MaxInflightBytes {
+			st.lineBase += tr.Line()
+			return accepted, bad, errOverload
+		}
+		select {
+		case st.queue <- item:
+			st.srv.addInflight(item.size)
+			if item.bad != nil {
+				bad++
+				st.mu.Lock()
+				st.badSeen++
+				st.mu.Unlock()
+			} else {
+				st.seq++
+				st.mRecords.Inc()
+			}
+			accepted++
+		default:
+			st.lineBase += tr.Line()
+			return accepted, bad, errBackpressure
+		}
+	}
+}
+
+// closeIngest ends the stream: the queue drains to io.EOF, the pipeline
+// publishes the final window and writes the final checkpoint. Idempotent.
+func (st *stream) closeIngest() {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	if !st.closed {
+		st.closed = true
+		close(st.queue)
+	}
+}
+
+// drainQueue empties whatever ingest is still queued (delete path) and
+// refunds the inflight-bytes accounting.
+func (st *stream) drainQueue() {
+	for {
+		select {
+		case it, ok := <-st.queue:
+			if !ok {
+				return
+			}
+			st.srv.addInflight(-it.size)
+		default:
+			return
+		}
+	}
+}
+
+// ---- source ----
+
+// queueSource adapts the ingest queue to pipeline.RecordSource, replaying
+// a synthetic skip prefix plus the retained tail first after a restart.
+//
+// The synth prefix exists because a resumed pipeline discards its first
+// snapshot.Records well-formed records (they are already inside the
+// restored window buffer); in-process the real records are gone — consumed
+// and pruned — so the source synthesizes placeholders that the pipeline
+// discards without ever pushing into the window.
+//
+// Each pipeline run gets its own queueSource scoped by ctx. RunContext can
+// return from a failed run while the mine stage is still inside Next()
+// (cancellation latency), so the supervisor must retire() the source — and
+// wait for that in-flight read to land in the consumption accounting —
+// before it reads the stream state to build the restart. Without the
+// handshake a record dequeued by the dying run after buildRestart misses
+// the replay buffer and is silently lost.
+type queueSource struct {
+	st     *stream
+	ctx    context.Context
+	synth  uint64
+	replay []queueItem
+	next   int
+
+	mu      sync.Mutex
+	dead    bool
+	pending int
+	settled chan struct{} // closed once dead with no pending Next
+}
+
+func newQueueSource(st *stream, ctx context.Context, synth uint64, replay []queueItem) *queueSource {
+	return &queueSource{st: st, ctx: ctx, synth: synth, replay: replay,
+		settled: make(chan struct{})}
+}
+
+// begin registers an in-flight Next call; it refuses once the source is
+// retired so a straggling mine stage can never consume another record.
+func (qs *queueSource) begin() bool {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	if qs.dead {
+		return false
+	}
+	qs.pending++
+	return true
+}
+
+func (qs *queueSource) end() {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.pending--
+	if qs.dead && qs.pending == 0 {
+		close(qs.settled)
+	}
+}
+
+// retire cancels the run context, marks the source dead, and blocks until
+// any in-flight Next call has finished — after which the stream's consumed
+// count and replay buffer are guaranteed to cover everything this run ever
+// dequeued. cancel wakes a Next blocked on an empty queue; a Next that
+// instead wins the race and dequeues one final record is waited for, and
+// that record lands in the replay buffer rather than being lost.
+func (qs *queueSource) retire(cancel context.CancelFunc) {
+	cancel()
+	qs.mu.Lock()
+	if qs.dead {
+		qs.mu.Unlock()
+		<-qs.settled
+		return
+	}
+	qs.dead = true
+	if qs.pending == 0 {
+		close(qs.settled)
+	}
+	qs.mu.Unlock()
+	<-qs.settled
+}
+
+func (qs *queueSource) Next() (itemset.Itemset, error) {
+	if !qs.begin() {
+		return itemset.Itemset{}, context.Canceled
+	}
+	defer qs.end()
+	st := qs.st
+	for {
+		select { // pause gate first: a paused stream delivers nothing new
+		case <-st.gate():
+		case <-qs.ctx.Done():
+			return itemset.Itemset{}, qs.ctx.Err()
+		}
+		if qs.synth > 0 {
+			qs.synth--
+			return itemset.Itemset{}, nil
+		}
+		if qs.next < len(qs.replay) {
+			it := qs.replay[qs.next]
+			qs.next++
+			// Replayed items were consumed (and retained) by the previous
+			// attempt; no accounting changes here.
+			if it.bad != nil {
+				return itemset.Itemset{}, it.bad
+			}
+			return it.rec, nil
+		}
+		select {
+		case it, ok := <-st.queue:
+			if !ok {
+				return itemset.Itemset{}, io.EOF
+			}
+			st.noteConsumed(it)
+			if it.bad != nil {
+				return itemset.Itemset{}, it.bad
+			}
+			return it.rec, nil
+		case <-qs.ctx.Done():
+			return itemset.Itemset{}, qs.ctx.Err()
+		}
+	}
+}
+
+// noteConsumed moves one freshly-dequeued item into the replay buffer and
+// updates the consumption accounting.
+func (st *stream) noteConsumed(it queueItem) {
+	st.srv.addInflight(-it.size)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if it.bad == nil {
+		st.consumed = it.seq
+	}
+	if st.replayLost {
+		return
+	}
+	if len(st.retained) >= st.srv.opts.ReplayLimit {
+		// The window between checkpoints outgrew the replay budget; give
+		// the memory back. A later restart attempt quarantines cleanly
+		// instead of replaying a gap.
+		st.retained = nil
+		st.replayLost = true
+		return
+	}
+	st.retained = append(st.retained, it)
+}
+
+// pruneRetained drops replay items covered by the checkpoint just saved
+// (wired to checkpoint.Store.OnSave).
+func (st *stream) pruneRetained(s *checkpoint.Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.lastCkpt = s.Records
+	i := 0
+	for i < len(st.retained) && st.retained[i].seq <= s.Records {
+		i++
+	}
+	if i > 0 {
+		st.retained = append(st.retained[:0], st.retained[i:]...)
+	}
+	// A fresh checkpoint re-arms replayability: everything after it is
+	// retained from here on.
+	if st.replayLost && len(st.retained) == 0 && st.consumed == s.Records {
+		st.replayLost = false
+	}
+}
+
+// buildRestart assembles the deterministic-restart inputs: the resume
+// snapshot (nil for a from-scratch restart), the synthetic skip prefix,
+// and the retained tail to replay, verifying the replay buffer actually
+// covers the gap between the snapshot and the consumption point.
+func (st *stream) buildRestart() (snap *checkpoint.Snapshot, synth uint64, replay []queueItem, err error) {
+	if st.store != nil {
+		snap, _, err = st.store.Latest()
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("loading restart checkpoint: %w", err)
+		}
+	}
+	var want uint64
+	if snap != nil {
+		want = snap.Records
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	consumed := st.consumed
+	if st.replayLost {
+		return nil, 0, nil, fmt.Errorf("replay buffer overflowed ReplayLimit between checkpoints; cannot restart deterministically")
+	}
+	if consumed < want {
+		// Crashed while still fast-forwarding a process-restart resume:
+		// re-present everything consumed so far (the pipeline discards it
+		// again as part of its own skip) and keep the snapshot.
+		synth = 0
+		replay = append([]queueItem(nil), st.retained...)
+		if gap := verifyReplay(replay, 0, consumed); gap != "" {
+			return nil, 0, nil, fmt.Errorf("replay buffer %s", gap)
+		}
+		return snap, synth, replay, nil
+	}
+	synth = want
+	for _, it := range st.retained {
+		if it.seq > want {
+			replay = append(replay, it)
+		}
+	}
+	if gap := verifyReplay(replay, want, consumed); gap != "" {
+		return nil, 0, nil, fmt.Errorf("replay buffer %s", gap)
+	}
+	return snap, synth, replay, nil
+}
+
+// verifyReplay checks that the good records in replay are exactly
+// from+1 .. to, in order; it returns a description of the gap otherwise.
+func verifyReplay(replay []queueItem, from, to uint64) string {
+	next := from + 1
+	for _, it := range replay {
+		if it.bad != nil {
+			continue
+		}
+		if it.seq != next {
+			return fmt.Sprintf("skips from record %d to %d", next-1, it.seq)
+		}
+		next++
+	}
+	if next != to+1 {
+		return fmt.Sprintf("ends at record %d, need %d", next-1, to)
+	}
+	return ""
+}
+
+// ---- emit ----
+
+// emit renders one published window into the audit format and stores it
+// for GET /windows. Re-published windows after a restart overwrite their
+// position idempotently (consistent republication guarantees the bytes
+// match anyway).
+func (st *stream) emit(w pipeline.Window) error {
+	entries := make([]data.PublishedEntry, 0, len(w.Output.Items))
+	for _, it := range w.Output.Items {
+		entries = append(entries, data.PublishedEntry{Support: it.Support, Set: it.Set})
+	}
+	var buf bytes.Buffer
+	if err := data.WritePublished(&buf, entries, st.vocab); err != nil {
+		return fmt.Errorf("rendering window at position %d: %w", w.Position, err)
+	}
+	st.storeWindow(w.Position, buf.String())
+	st.progress.Store(true)
+	st.mWindows.Inc()
+	return nil
+}
+
+func (st *stream) storeWindow(pos int, body string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ws := st.windows
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].Position >= pos })
+	if i < len(ws) && ws[i].Position == pos {
+		ws[i].Body = body
+		return
+	}
+	ws = append(ws, publishedWindow{})
+	copy(ws[i+1:], ws[i:])
+	ws[i] = publishedWindow{Position: pos, Body: body}
+	if limit := st.cfg.History; limit > 0 && len(ws) > limit {
+		n := copy(ws, ws[len(ws)-limit:])
+		ws = ws[:n]
+		st.winTrunc = true
+	}
+	st.windows = ws
+}
+
+// windowsFrom returns the retained windows with Position >= from, plus
+// whether older windows were evicted past the history limit.
+func (st *stream) windowsFrom(from int) ([]publishedWindow, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i := sort.Search(len(st.windows), func(i int) bool { return st.windows[i].Position >= from })
+	out := make([]publishedWindow, len(st.windows)-i)
+	copy(out, st.windows[i:])
+	return out, st.winTrunc
+}
+
+// releaseLease releases the stream's checkpoint lease exactly once.
+func (st *stream) releaseLease() {
+	st.release.Do(func() {
+		if st.lease != nil {
+			if err := st.lease.Release(); err != nil {
+				st.srv.log.Warn("lease release failed", "stream", st.id, "error", err.Error())
+			}
+		}
+	})
+}
+
+// status snapshots the stream for the control plane.
+func (st *stream) status() StreamStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StreamStatus{
+		ID:                  st.id,
+		State:               st.state,
+		LastError:           st.lastErr,
+		RecordsAccepted:     st.seqSnapshot(),
+		RecordsConsumed:     st.consumed,
+		BadRecords:          st.badSeen,
+		QueueLen:            len(st.queue),
+		QueueCap:            cap(st.queue),
+		WindowsRetained:     len(st.windows),
+		Restarts:            st.restarts,
+		ConsecutiveFailures: st.consecFails,
+		CheckpointRecords:   st.lastCkpt,
+		Workers:             st.cfg.Workers,
+		Scheme:              st.pipeCfg.Scheme.Name(),
+	}
+}
+
+// seqSnapshot reads the accepted-records counter without taking ingestMu
+// (st.mu is already held by status); status is diagnostic, so a slightly
+// stale value is fine.
+func (st *stream) seqSnapshot() uint64 { return st.seq }
+
+// finalState reports the state and last error after a supervision session
+// has ended (the drain report's source of truth).
+func (st *stream) finalState() (state, lastErr string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state, st.lastErr
+}

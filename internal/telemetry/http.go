@@ -36,10 +36,16 @@ func (r *Registry) JSONHandler() http.Handler {
 // pprof is registered explicitly on this private mux — the CLI never
 // exposes http.DefaultServeMux, so importing net/http/pprof here does not
 // leak profiling endpoints onto any other server in the process.
+//
+// The read-only endpoints are registered GET-only (which also admits
+// HEAD), so a misdirected POST is answered 405 Method Not Allowed with an
+// Allow header rather than a misleading 404 — scraping misconfigurations
+// show up as what they are. pprof keeps its own method handling
+// (/debug/pprof/symbol legitimately accepts POST).
 func (r *Registry) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/debug/vars", r.JSONHandler())
+	mux.Handle("GET /metrics", r.Handler())
+	mux.Handle("GET /debug/vars", r.JSONHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -279,6 +280,29 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index wrong:\n%s", body)
+	}
+}
+
+// TestMuxMethodNotAllowed: the read-only endpoints answer a wrong-method
+// hit with 405 + Allow, not a misleading 404 — a scraper misconfigured to
+// POST sees its actual mistake.
+func TestMuxMethodNotAllowed(t *testing.T) {
+	reg := buildFixtureRegistry()
+	srv := httptest.NewServer(reg.Mux())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := srv.Client().Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s: Allow %q, want GET", path, allow)
+		}
 	}
 }
 
