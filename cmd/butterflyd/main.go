@@ -3,7 +3,12 @@
 // internal/server) next to the usual observability endpoints (/metrics,
 // /debug/vars, /debug/pprof).
 //
-//	butterflyd -addr :8080 -checkpoint-root /var/lib/butterflyd
+//	butterflyd -addr :8080 -data-dir /var/lib/butterflyd
+//
+// With -data-dir, acceptance is durable: every 2xx ingest response means
+// the lines are fsynced to the stream's write-ahead log, and a restart
+// over the same directory recovers every admitted stream — checkpoints,
+// WAL tails, quarantine states — so a kill -9 loses nothing accepted.
 //
 // Streams are created, fed, and drained over the v1 control plane:
 //
@@ -102,7 +107,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("butterflyd", flag.ContinueOnError)
 	var (
 		addr            = fs.String("addr", ":8080", "HOST:PORT the service listens on")
-		checkpointRoot  = fs.String("checkpoint-root", "", "per-stream crash-safe checkpoints under DIR/<stream-id>/ (empty: off)")
+		dataDir         = fs.String("data-dir", "", "durable state root: stream manifest, per-stream checkpoints + ingest WAL under DIR/streams/<stream-id>/ (empty: memory only)")
+		checkpointRoot  = fs.String("checkpoint-root", "", "deprecated alias for -data-dir")
 		maxStreams      = fs.Int("max-streams", 1024, "admission cap on concurrently hosted streams")
 		maxInflight     = fs.Int64("max-inflight-bytes", 256<<20, "server-wide cap on queued ingest bytes (503 beyond it)")
 		queueDepth      = fs.Int("queue-depth", 1024, "default per-stream ingest queue depth in records (429 when full)")
@@ -115,6 +121,11 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dataDir == "" {
+		*dataDir = *checkpointRoot
+	} else if *checkpointRoot != "" && *checkpointRoot != *dataDir {
+		return fmt.Errorf("-checkpoint-root is a deprecated alias for -data-dir; set only one")
 	}
 	if err := validateFlags(flagValues{
 		addr: *addr, maxStreams: *maxStreams, maxInflightBytes: *maxInflight,
@@ -135,7 +146,7 @@ func run(args []string, stdout io.Writer) error {
 
 	reg := telemetry.NewRegistry()
 	srv := server.New(server.Options{
-		CheckpointRoot:   *checkpointRoot,
+		DataDir:          *dataDir,
 		MaxStreams:       *maxStreams,
 		MaxInflightBytes: *maxInflight,
 		QueueDepth:       *queueDepth,
@@ -147,6 +158,18 @@ func run(args []string, stdout io.Writer) error {
 		Logger:           logger,
 		Registry:         reg,
 	})
+
+	// Recover every stream the previous process promised durability before
+	// the listener opens: clients must never reach a server that has not yet
+	// re-adopted their streams.
+	if *dataDir != "" {
+		rep, err := srv.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		logger.Info("recovered", "data_dir", *dataDir, "adopted", rep.Adopted,
+			"parked", rep.Parked, "replayed", rep.Replayed, "orphans_swept", len(rep.Orphans))
+	}
 
 	// One mux serves the v1 control plane and the observability endpoints.
 	mux := reg.Mux()
@@ -170,7 +193,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxHeaderBytes:    1 << 20,
 	}
 	logger.Info("butterflyd listening", "addr", ln.Addr().String(),
-		"checkpoint_root", *checkpointRoot, "max_streams", *maxStreams)
+		"data_dir", *dataDir, "max_streams", *maxStreams)
 	if serverStarted != nil {
 		serverStarted(ln.Addr().String())
 	}

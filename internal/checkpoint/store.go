@@ -142,6 +142,22 @@ func (st *Store) Save(s *Snapshot) error {
 	return nil
 }
 
+// AtomicWrite writes data to path with the store's crash discipline — temp
+// file, fsync, rename, directory fsync — so a reader never observes a
+// partially-written file under the final name, whatever instant the process
+// dies. The multi-stream server uses it for its stream manifest.
+func AtomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: publishing %s: %w", path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
 // writeFileSync writes data and fsyncs before closing, so a rename never
 // publishes bytes the disk has not accepted.
 func writeFileSync(path string, data []byte) error {

@@ -55,6 +55,20 @@ func TruncateFile(path string, keep int64) error {
 	return os.Truncate(path, keep)
 }
 
+// AppendBytes appends raw bytes to an existing file — garbage past the last
+// valid frame, the shape a torn log-append leaves behind.
+func AppendBytes(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // FlipByte XORs 0xFF into the byte at offset — one spot of bit rot. A
 // negative offset counts back from the end of the file.
 func FlipByte(path string, offset int64) error {

@@ -153,8 +153,13 @@ type Config struct {
 	Trace *trace.Tracer
 }
 
-// fingerprint is the configuration identity a snapshot is bound to; resume
-// under a different fingerprint is refused (see checkpoint.Meta).
+// Fingerprint is the configuration identity a snapshot is bound to; resume
+// under a different fingerprint is refused (see checkpoint.Meta). The
+// multi-stream server persists it in its stream manifest and re-verifies it
+// when re-adopting a stream at boot.
+func (cfg Config) Fingerprint() checkpoint.Meta { return cfg.fingerprint() }
+
+// fingerprint is the unexported implementation of Fingerprint.
 func (cfg Config) fingerprint() checkpoint.Meta {
 	scheme := cfg.Scheme
 	if scheme == nil {

@@ -286,7 +286,7 @@ func TestHostileClientBodies(t *testing.T) {
 		t.Fatal("stream not registered")
 	}
 	dropErr := errors.New("connection reset by peer")
-	accepted, _, err := st.ingest(faultinject.HaltReader(strings.NewReader(tail), 64, dropErr))
+	accepted, _, err := st.ingest(faultinject.HaltReader(strings.NewReader(tail), 64, dropErr), -1)
 	if !errors.Is(err, dropErr) {
 		t.Fatalf("halted body: err %v, want the injected drop", err)
 	}

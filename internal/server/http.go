@@ -115,11 +115,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestResponse reports partial acceptance: on 429/503 the client resumes
-// from its (accepted)th line.
+// from its (accepted)th line. AcceptedLines is the stream's cumulative
+// accepted-line total after the request — the authoritative resume offset,
+// which can exceed what the client has seen acknowledged when recovery
+// adopted frames from a request whose response never arrived.
 type ingestResponse struct {
-	Accepted int    `json:"accepted"`
-	Bad      int    `json:"bad"`
-	Error    string `json:"error,omitempty"`
+	Accepted      int    `json:"accepted"`
+	Bad           int    `json:"bad"`
+	AcceptedLines uint64 `json:"accepted_lines"`
+	Error         string `json:"error,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -128,8 +132,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errStreamNotFound, r.PathValue("id")))
 		return
 	}
-	accepted, bad, err := st.ingest(r.Body)
-	resp := ingestResponse{Accepted: accepted, Bad: bad}
+	// ?offset=N is the client's count of lines it knows the stream accepted;
+	// the stream skips the overlap so a retry after a lost 2xx cannot
+	// double-ingest. Omitted: append blindly (the pre-durability behavior).
+	offset := int64(-1)
+	if q := r.URL.Query().Get("offset"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid offset=%q", q))
+			return
+		}
+		offset = n
+	}
+	accepted, bad, err := st.ingest(r.Body, offset)
+	resp := ingestResponse{Accepted: accepted, Bad: bad, AcceptedLines: st.acceptedLines()}
 	if err != nil {
 		resp.Error = err.Error()
 	}
@@ -153,6 +169,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errStreamClosed):
 		s.metrics.rejection(rejectClosed).Inc()
 		writeJSON(w, http.StatusConflict, resp)
+	case errors.Is(err, errOffsetGap):
+		// The client believes lines were accepted that the stream never
+		// saw — resending from the offset would leave a hole. Not retryable
+		// without operator attention.
+		writeJSON(w, http.StatusConflict, resp)
+	case errors.Is(err, errDurability):
+		// The group's fsync failed and the whole request was unwound; the
+		// client re-sends from its own offset.
+		writeJSON(w, http.StatusInternalServerError, resp)
 	default:
 		// The request body itself failed mid-read (truncated upload,
 		// dropped connection). Everything accepted stays accepted.

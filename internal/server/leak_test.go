@@ -18,7 +18,7 @@ import (
 func TestNoGoroutineLeaks(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	srv := New(Options{CheckpointRoot: t.TempDir()})
+	srv := New(Options{DataDir: t.TempDir()})
 	for _, id := range []string{"a", "b", "c"} {
 		cfg := testConfig(id, 1)
 		cfg.CheckpointEvery = 1
@@ -26,7 +26,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := srv.get(id)
-		if _, _, err := st.ingest(strings.NewReader(genInput(t, 50, 300))); err != nil {
+		if _, _, err := st.ingest(strings.NewReader(genInput(t, 50, 300)), -1); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // Server metric names (see OBSERVABILITY.md for the full reference).
@@ -33,6 +34,15 @@ const (
 	rejectQuarantined  = "quarantined"
 )
 
+// Quarantine reasons (the MetricQuarantines label values).
+const (
+	quarBreaker           = "breaker"
+	quarRestartImpossible = "restart_impossible"
+	quarPanic             = "panic"
+	quarConfig            = "config"
+	quarAdoption          = "adoption"
+)
+
 // RegisterMetrics pre-registers the server's instrument namespace on reg
 // (with placeholder label values for the labeled families) so the
 // observability doc-sync test can assemble the full metric surface without
@@ -40,18 +50,19 @@ const (
 func RegisterMetrics(reg *telemetry.Registry) {
 	m := newServerMetrics(reg)
 	m.rejection(rejectBackpressure)
+	m.quarantineCounter(quarBreaker)
 	m.streamCounters("example")
+	wal.RegisterMetrics(reg)
 }
 
 // serverMetrics holds the registered instruments; a nil *serverMetrics
 // disables recording (Options.Registry == nil).
 type serverMetrics struct {
-	reg        *telemetry.Registry
-	byState    map[string]*telemetry.Gauge
-	inflight   *telemetry.Gauge
-	restarts   *telemetry.Counter
-	quarantine *telemetry.Counter
-	drainDur   *telemetry.Gauge
+	reg      *telemetry.Registry
+	byState  map[string]*telemetry.Gauge
+	inflight *telemetry.Gauge
+	restarts *telemetry.Counter
+	drainDur *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -70,8 +81,6 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"Approximate bytes queued across every stream's ingest queue.", nil),
 		restarts: reg.Counter(MetricRestarts,
 			"In-process stream restarts after a failed run (checkpoint + replay).", nil),
-		quarantine: reg.Counter(MetricQuarantines,
-			"Streams quarantined by the circuit breaker or an impossible restart.", nil),
 		drainDur: reg.Gauge(MetricDrainSeconds,
 			"Wall time of the last graceful drain across all streams.", nil),
 	}
@@ -128,9 +137,20 @@ func (m *serverMetrics) addRestart() {
 	}
 }
 
-func (m *serverMetrics) addQuarantine() {
+// quarantineCounter returns the labeled quarantine counter for a reason
+// (never nil; unregistered when metrics are off).
+func (m *serverMetrics) quarantineCounter(reason string) *telemetry.Counter {
+	if m == nil {
+		return &telemetry.Counter{}
+	}
+	return m.reg.Counter(MetricQuarantines,
+		"Streams quarantined, by reason (breaker trip, impossible restart, supervisor panic, rejected config, failed adoption).",
+		telemetry.Labels{"reason": reason})
+}
+
+func (m *serverMetrics) addQuarantine(reason string) {
 	if m != nil {
-		m.quarantine.Inc()
+		m.quarantineCounter(reason).Inc()
 	}
 }
 

@@ -15,11 +15,20 @@
 // own checkpoint or quarantined, and the streams around it never notice.
 //
 // Restart determinism: an in-process restart resumes from the newest
-// checkpoint plus a retained replay buffer of the records consumed since
-// it was written (pruned on every checkpoint save via the store's OnSave
-// hook). If the buffer cannot bridge the gap — it overflowed ReplayLimit,
-// or the newest readable checkpoint is older than the prune horizon — the
+// checkpoint plus a replay of the records consumed since it was written.
+// With a data dir the replay comes from the stream's ingest WAL (durable,
+// truncated as checkpoints advance); without one it comes from a retained
+// in-memory buffer pruned on every checkpoint save via the store's OnSave
+// hook. If the replay cannot bridge the gap — the memory buffer overflowed
+// ReplayLimit, or the WAL tail is not contiguous with the checkpoint — the
 // stream is quarantined rather than restarted wrong: no replay, no resume.
+//
+// Durability of acceptance: with a data dir, every 2xx ingest response
+// means the accepted lines are fsynced to the stream's WAL (and any new
+// vocabulary tokens to its journal) before they are visible to the
+// pipeline, the stream manifest records every admitted stream atomically,
+// and Recover rebuilds the whole registry — checkpoints, WAL tails,
+// quarantine states — after a kill -9 with nothing accepted lost.
 package server
 
 import (
@@ -29,6 +38,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -42,17 +52,23 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Options configures a Server. The zero value is usable: every limit has a
-// default, checkpointing is off without a CheckpointRoot, and logging and
-// telemetry are off without a Logger/Registry.
+// default, durability is off without a DataDir, and logging and telemetry
+// are off without a Logger/Registry.
 type Options struct {
-	// CheckpointRoot, when non-empty, enables per-stream crash-safe
-	// checkpointing under CheckpointRoot/<stream-id>/, each directory
-	// guarded by an exclusive lease so two servers (or a delete/resume
-	// race) cannot interleave writes.
-	CheckpointRoot string
+	// DataDir, when non-empty, makes acceptance durable: each stream gets
+	// crash-safe checkpoints, an ingest WAL, and a token journal under
+	// DataDir/streams/<stream-id>/ (each directory guarded by an exclusive
+	// lease so two servers cannot interleave writes), and the server keeps
+	// a stream manifest at DataDir/manifest.json that Recover uses to
+	// rebuild the registry after a crash.
+	DataDir string
+	// WALSegmentBytes rotates each stream's ingest WAL into a new segment
+	// once the active one exceeds this size (0: the wal package default).
+	WALSegmentBytes int64
 	// MaxStreams caps concurrently hosted streams (default 1024); create
 	// beyond it is refused with 503.
 	MaxStreams int
@@ -96,6 +112,13 @@ type Options struct {
 	// through.
 	WrapSource func(id string, src pipeline.RecordSource) pipeline.RecordSource
 	WrapSink   func(id string, emit func(pipeline.Window) error) func(pipeline.Window) error
+
+	// hookStore / hookWAL, when non-nil, observe each stream's checkpoint
+	// store and WAL just after they are opened (create, resume, or boot
+	// adoption) — the crash-injection seam the recovery differential suite
+	// uses to install CrashHooks. Test-only, same package.
+	hookStore func(id string, store *checkpoint.Store)
+	hookWAL   func(id string, lg *wal.Log)
 }
 
 func (o *Options) setDefaults() {
@@ -144,6 +167,10 @@ type Server struct {
 	nstreams atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// manifest mirrors DataDir/manifest.json (see manifest.go).
+	manifestMu sync.Mutex
+	manifest   map[string]manifestEntry
 
 	ctx    context.Context // parent of every stream's run context
 	cancel context.CancelFunc
@@ -305,6 +332,19 @@ type StreamStatus struct {
 	CheckpointRecords   uint64 `json:"checkpoint_records"`
 	Workers             int    `json:"workers"`
 	Scheme              string `json:"scheme"`
+	// AcceptedLines is the cumulative accepted-line count (good + bad) — the
+	// coordinate the ?offset= ingest dedup protocol speaks.
+	AcceptedLines uint64 `json:"accepted_lines"`
+	// Durable reports whether acceptance is WAL-backed (server has a data
+	// dir): a 2xx ingest response means the lines survive a kill -9.
+	Durable bool `json:"durable"`
+	// ReplayLost means the in-memory replay buffer overflowed ReplayLimit
+	// (memory-only mode): the stream cannot restart deterministically until
+	// its next checkpoint re-arms it. Always false in durable mode.
+	ReplayLost bool `json:"replay_lost"`
+	// WALSegments is the stream's current ingest-WAL segment count (durable
+	// mode only).
+	WALSegments int `json:"wal_segments,omitempty"`
 }
 
 // Create admits and starts a stream. The returned status reflects the
@@ -336,6 +376,125 @@ func (s *Server) Create(cfg StreamConfig) (StreamStatus, error) {
 	}
 	undo := func() { s.nstreams.Add(-1) }
 
+	st, warnf := s.buildStream(cfg, scheme)
+
+	if s.opts.DataDir != "" {
+		dir := s.streamDir(cfg.ID)
+		lease, err := checkpoint.AcquireLease(dir, s.opts.Owner)
+		if err != nil {
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: %w", cfg.ID, err)
+		}
+		store, err := checkpoint.NewStore(dir, cfg.CheckpointKeep)
+		if err != nil {
+			lease.Release()
+			undo()
+			return StreamStatus{}, err
+		}
+		store.Logf = warnf
+		store.OnSave = st.onCheckpointSave
+		st.store, st.lease = store, lease
+		if s.opts.hookStore != nil {
+			s.opts.hookStore(cfg.ID, store)
+		}
+		// A create (fresh or resume) starts the client's line space at zero:
+		// any WAL tail or token journal a predecessor left behind is in a
+		// coordinate space this incarnation does not share. A resume keeps
+		// the checkpoints — the client replays from the beginning and the
+		// pipeline fast-forwards — while a fresh create wipes those too.
+		if err := wipeDurableLog(dir); err != nil {
+			st.releaseLease()
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: clearing stale wal: %w", cfg.ID, err)
+		}
+		if !cfg.Resume {
+			if err := wipeCheckpoints(store); err != nil {
+				st.releaseLease()
+				undo()
+				return StreamStatus{}, fmt.Errorf("stream %s: clearing stale checkpoints: %w", cfg.ID, err)
+			}
+		}
+		if _, err := st.openDurable(dir, warnf); err != nil {
+			st.closeDurable()
+			st.releaseLease()
+			undo()
+			return StreamStatus{}, fmt.Errorf("stream %s: %w", cfg.ID, err)
+		}
+	}
+
+	fail := func() {
+		st.closeDurable()
+		st.releaseLease()
+		undo()
+	}
+
+	var snap *checkpoint.Snapshot
+	if cfg.Resume {
+		if st.store == nil {
+			fail()
+			return StreamStatus{}, fmt.Errorf("stream %s: resume requires a server data dir", cfg.ID)
+		}
+		snap, _, err = st.store.Latest()
+		if err != nil {
+			fail()
+			return StreamStatus{}, fmt.Errorf("stream %s: loading resume checkpoint: %w", cfg.ID, err)
+		}
+		if snap == nil {
+			fail()
+			return StreamStatus{}, fmt.Errorf("stream %s: no checkpoint to resume from", cfg.ID)
+		}
+		st.lastCkpt = snap.Records
+	}
+
+	// Validate the full pipeline config (params, window, budgets, resume
+	// fingerprint) before the stream becomes visible.
+	vcfg := st.pipeCfg
+	vcfg.Checkpoints = st.store
+	vcfg.Resume = snap
+	if _, err := pipeline.New(vcfg); err != nil {
+		fail()
+		return StreamStatus{}, err
+	}
+
+	sh := s.shard(cfg.ID)
+	sh.mu.Lock()
+	if _, dup := sh.m[cfg.ID]; dup {
+		sh.mu.Unlock()
+		fail()
+		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamExists, cfg.ID)
+	}
+	sh.m[cfg.ID] = st
+	sh.mu.Unlock()
+
+	// Durably register the stream before acknowledging the create: an
+	// admission the manifest cannot record is refused, because a crash would
+	// orphan-sweep its directory at the next boot.
+	mcfg := cfg
+	mcfg.Resume = false
+	if err := s.manifestPut(cfg.ID, manifestEntry{
+		Config:      mcfg,
+		Fingerprint: st.pipeCfg.Fingerprint(),
+		State:       manifestActive,
+	}); err != nil {
+		sh.mu.Lock()
+		delete(sh.m, cfg.ID)
+		sh.mu.Unlock()
+		fail()
+		return StreamStatus{}, err
+	}
+
+	s.metrics.moveState("", StateRunning)
+	s.wg.Add(1)
+	go s.supervise(st, snap, 0, nil)
+	s.log.Info("stream created", "stream", cfg.ID, "resume", cfg.Resume,
+		"queue_depth", cfg.QueueDepth, "workers", cfg.Workers)
+	return st.status(), nil
+}
+
+// buildStream constructs a stream shell — channels, metrics, run context,
+// tracer, pipeline config — not yet registered or supervised. scheme may
+// be nil only when adoption is about to park the stream terminally.
+func (s *Server) buildStream(cfg StreamConfig, scheme core.Scheme) (*stream, func(string, ...any)) {
 	st := &stream{
 		id:       cfg.ID,
 		cfg:      cfg,
@@ -351,7 +510,6 @@ func (s *Server) Create(cfg StreamConfig) (StreamStatus, error) {
 	if cfg.TraceWindows > 0 {
 		st.tracer = trace.New(trace.Options{Windows: cfg.TraceWindows})
 	}
-
 	warnf := func(format string, args ...any) {
 		s.log.Warn(fmt.Sprintf(format, args...), "stream", cfg.ID)
 	}
@@ -375,74 +533,58 @@ func (s *Server) Create(cfg StreamConfig) (StreamStatus, error) {
 		Warnf:           warnf,
 		Trace:           st.tracer,
 	}
+	return st, warnf
+}
 
-	if s.opts.CheckpointRoot != "" {
-		dir := filepath.Join(s.opts.CheckpointRoot, cfg.ID)
-		lease, err := checkpoint.AcquireLease(dir, s.opts.Owner)
-		if err != nil {
-			undo()
-			return StreamStatus{}, fmt.Errorf("stream %s: %w", cfg.ID, err)
-		}
-		store, err := checkpoint.NewStore(dir, cfg.CheckpointKeep)
-		if err != nil {
-			lease.Release()
-			undo()
-			return StreamStatus{}, err
-		}
-		store.Logf = warnf
-		store.OnSave = st.pruneRetained
-		st.store, st.lease = store, lease
+// wipeDurableLog removes a directory's WAL segments and token journal: a
+// fresh create's line space starts at zero, so a predecessor's durable log
+// (left by a crash after delete, or an earlier stream of the same id)
+// must not leak into it.
+func wipeDurableLog(dir string) error {
+	segs, err := filepath.Glob(filepath.Join(dir, wal.SegmentGlob))
+	if err != nil {
+		return err
 	}
-
-	var snap *checkpoint.Snapshot
-	if cfg.Resume {
-		if st.store == nil {
-			st.releaseLease()
-			undo()
-			return StreamStatus{}, fmt.Errorf("stream %s: resume requires a server checkpoint root", cfg.ID)
+	for _, p := range segs {
+		if err := os.Remove(p); err != nil {
+			return err
 		}
-		snap, _, err = st.store.Latest()
-		if err != nil {
-			st.releaseLease()
-			undo()
-			return StreamStatus{}, fmt.Errorf("stream %s: loading resume checkpoint: %w", cfg.ID, err)
+	}
+	if err := os.Remove(filepath.Join(dir, wal.TokensName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// wipeCheckpoints removes every generation a fresh (non-resume) create
+// would otherwise silently inherit from a predecessor of the same id.
+func wipeCheckpoints(store *checkpoint.Store) error {
+	gens, err := store.Generations()
+	if err != nil {
+		return err
+	}
+	for _, p := range gens {
+		if err := os.Remove(p); err != nil {
+			return err
 		}
-		if snap == nil {
-			st.releaseLease()
-			undo()
-			return StreamStatus{}, fmt.Errorf("stream %s: no checkpoint to resume from", cfg.ID)
-		}
-		st.lastCkpt = snap.Records
 	}
+	return nil
+}
 
-	// Validate the full pipeline config (params, window, budgets, resume
-	// fingerprint) before the stream becomes visible.
-	vcfg := st.pipeCfg
-	vcfg.Checkpoints = st.store
-	vcfg.Resume = snap
-	if _, err := pipeline.New(vcfg); err != nil {
-		st.releaseLease()
-		undo()
-		return StreamStatus{}, err
+// gcStream reclaims a stream's durable footprint once it can never run
+// again (drained to done, or deleted): manifest entry first, directory
+// second, so a crash between the two leaves an orphan directory for the
+// boot sweep — never a manifest entry pointing at nothing.
+func (s *Server) gcStream(st *stream) {
+	st.closeDurable()
+	st.releaseLease()
+	if st.store == nil {
+		return
 	}
-
-	sh := s.shard(cfg.ID)
-	sh.mu.Lock()
-	if _, dup := sh.m[cfg.ID]; dup {
-		sh.mu.Unlock()
-		st.releaseLease()
-		undo()
-		return StreamStatus{}, fmt.Errorf("%w: %s", errStreamExists, cfg.ID)
+	s.manifestRemove(st.id)
+	if err := os.RemoveAll(s.streamDir(st.id)); err != nil {
+		s.log.Warn("stream gc failed", "stream", st.id, "error", err.Error())
 	}
-	sh.m[cfg.ID] = st
-	sh.mu.Unlock()
-
-	s.metrics.moveState("", StateRunning)
-	s.wg.Add(1)
-	go s.supervise(st, snap, 0, nil)
-	s.log.Info("stream created", "stream", cfg.ID, "resume", cfg.Resume,
-		"queue_depth", cfg.QueueDepth, "workers", cfg.Workers)
-	return st.status(), nil
 }
 
 // supervise runs one supervision session: the pipeline run loop with
@@ -456,7 +598,8 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 			// supervision scaffolding itself so one stream's bug can never
 			// take down its neighbors.
 			st.setState(StateQuarantined, fmt.Errorf("supervisor panic: %v", v))
-			s.metrics.addQuarantine()
+			s.metrics.addQuarantine(quarPanic)
+			s.manifestSetState(st.id, manifestQuarantined, fmt.Sprintf("supervisor panic: %v", v))
 			s.log.Error("supervisor panic", "stream", st.id, "panic", fmt.Sprint(v))
 		}
 		st.mu.Lock()
@@ -474,7 +617,8 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 			// Create validated this exact config; reaching here means the
 			// restart inputs are inconsistent — not retryable.
 			st.setState(StateQuarantined, err)
-			s.metrics.addQuarantine()
+			s.metrics.addQuarantine(quarConfig)
+			s.manifestSetState(st.id, manifestQuarantined, err.Error())
 			s.log.Error("stream config rejected on restart", "stream", st.id, "error", err.Error())
 			return
 		}
@@ -496,11 +640,17 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 		qs.retire(cancelRun)
 		if runErr == nil {
 			st.setState(StateDone, nil)
+			// The stream is complete: its final window and checkpoint are
+			// published, nothing remains to recover. Reclaim the durable
+			// footprint.
+			s.gcStream(st)
 			s.log.Info("stream drained", "stream", st.id)
 			return
 		}
 		if st.runCtx.Err() != nil {
-			// Deleted or server-aborted; nothing to restart.
+			// Deleted or server-aborted; nothing to restart — and nothing to
+			// persist: an abort is the simulated crash, so the manifest must
+			// keep saying whatever it said before it.
 			st.setState(StateFailed, runErr)
 			return
 		}
@@ -508,6 +658,7 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 			// Closed before the first window ever filled — a property of
 			// the input, not a fault; restarting cannot help.
 			st.setState(StateFailed, runErr)
+			s.manifestSetState(st.id, manifestFailed, runErr.Error())
 			s.log.Warn("stream closed short", "stream", st.id, "error", runErr.Error())
 			return
 		}
@@ -524,7 +675,8 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 			"error", runErr.Error(), "consecutive_failures", fails)
 		if fails >= s.opts.BreakerFailures {
 			st.setState(StateQuarantined, runErr)
-			s.metrics.addQuarantine()
+			s.metrics.addQuarantine(quarBreaker)
+			s.manifestSetState(st.id, manifestQuarantined, runErr.Error())
 			s.log.Error("stream quarantined", "stream", st.id,
 				"error", runErr.Error(), "failures", fails)
 			return
@@ -533,7 +685,9 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 		snap, synth, replay, rerr = st.buildRestart()
 		if rerr != nil {
 			st.setState(StateQuarantined, fmt.Errorf("%v (restart impossible: %v)", runErr, rerr))
-			s.metrics.addQuarantine()
+			s.metrics.addQuarantine(quarRestartImpossible)
+			s.manifestSetState(st.id, manifestQuarantined,
+				fmt.Sprintf("%v (restart impossible: %v)", runErr, rerr))
 			s.log.Error("stream restart impossible", "stream", st.id, "error", rerr.Error())
 			return
 		}
@@ -613,6 +767,7 @@ func (s *Server) Resume(id string) (StreamStatus, error) {
 		st.done = make(chan struct{})
 		st.mu.Unlock()
 		s.metrics.moveState(StateQuarantined, StateRunning)
+		s.manifestSetState(id, manifestActive, "")
 		s.wg.Add(1)
 		go s.supervise(st, snap, synth, replay)
 		s.log.Info("stream un-quarantined", "stream", id)
@@ -632,13 +787,18 @@ func (s *Server) CloseIngest(id string) (StreamStatus, error) {
 	}
 	st.unpause() // a paused stream must still be able to drain
 	st.closeIngest()
+	// A client-initiated close is durable intent: a re-adopted stream
+	// re-closes its queue after replay and drains to done. (Shutdown's
+	// internal closeIngest is not recorded — a drain is not the client
+	// ending the stream.)
+	s.manifestSetClosed(id)
 	s.log.Info("stream ingest closed", "stream", id)
 	return st.status(), nil
 }
 
 // Delete stops a stream promptly (no final drain — use CloseIngest first
-// for a graceful end) and removes it from the registry. The checkpoint
-// directory is left on disk for a later resume.
+// for a graceful end) and removes it from the registry, the manifest, and
+// the disk: checkpoints, WAL, and token journal are reclaimed.
 func (s *Server) Delete(id string) error {
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -657,7 +817,7 @@ func (s *Server) Delete(id string) error {
 	// sender-free queue.
 	st.closeIngest()
 	st.drainQueue()
-	st.releaseLease()
+	s.gcStream(st)
 	s.metrics.moveState(st.currentState(), "")
 	s.log.Info("stream deleted", "stream", id)
 	return nil
@@ -705,6 +865,7 @@ func (s *Server) Shutdown(ctx context.Context) DrainReport {
 				st.stop()
 				<-st.runDone()
 			}
+			st.closeDurable()
 			st.releaseLease()
 			state, lastErr := st.finalState()
 			mu.Lock()
@@ -739,6 +900,9 @@ func (s *Server) Abort() {
 	}
 	s.wg.Wait()
 	for _, st := range streams {
+		// Close drops any unsynced buffered WAL frames — exactly what the
+		// real crash being simulated would lose.
+		st.closeDurable()
 		st.releaseLease()
 	}
 	s.log.Warn("server aborted", "streams", len(streams))

@@ -321,7 +321,7 @@ func TestDifferentialIdentity(t *testing.T) {
 	}
 
 	opts := Options{
-		CheckpointRoot:  t.TempDir(),
+		DataDir:         t.TempDir(),
 		Registry:        telemetry.NewRegistry(),
 		BreakerFailures: 4, // one-shot faults must restart, not quarantine
 		RestartBackoff:  time.Millisecond,
@@ -409,7 +409,7 @@ func TestCrashRestartResume(t *testing.T) {
 	input := genInput(t, 7, 600)
 	ref := referenceWindows(t, cfg, input)
 
-	srv1, c1 := newTestServer(t, Options{CheckpointRoot: root})
+	srv1, c1 := newTestServer(t, Options{DataDir: root})
 	c1.create(cfg)
 	lines := strings.SplitAfter(strings.TrimRight(input, "\n")+"\n", "\n")
 	c1.ingestAll("s", strings.Join(lines[:400], ""))
@@ -428,7 +428,7 @@ func TestCrashRestartResume(t *testing.T) {
 	}
 	srv1.Abort() // crash: queued tail and any unsaved progress are lost
 
-	_, c2 := newTestServer(t, Options{CheckpointRoot: root})
+	_, c2 := newTestServer(t, Options{DataDir: root})
 	rcfg := cfg
 	rcfg.Resume = true
 	st := c2.create(rcfg)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Stream states, as reported by the control plane.
@@ -53,6 +54,9 @@ type queueItem struct {
 	// item (a bad item carries the seq of the preceding good one) — the
 	// coordinate the replay buffer is pruned and restarted by.
 	seq uint64
+	// line is the 1-based cumulative accepted-line index (good + bad) — the
+	// WAL's coordinate and the ?offset= dedup protocol's unit.
+	line uint64
 	// size is the item's approximate in-memory footprint, charged against
 	// the server-wide inflight-bytes admission cap.
 	size int64
@@ -89,14 +93,26 @@ type stream struct {
 	release sync.Once
 	tracer  *trace.Tracer
 
+	// Durable-acceptance plumbing (nil without a server data dir): the
+	// per-stream ingest WAL and the append-only token journal it depends
+	// on. Fixed at creation/adoption, before the stream is visible.
+	wal      *wal.Log
+	tokens   *wal.TokenLog
+	closeDur sync.Once
+	// walBase is the accepted-line count recovered from the WAL at
+	// adoption: lines at or below it were never enqueued by this process
+	// and restart replay must always re-read them from the log. Immutable
+	// after adoption.
+	walBase uint64
+
 	// Ingest: ingestMu serializes enqueues with the close of the queue
 	// (so a handler can never send on a closed channel) and makes
 	// concurrent POSTs to one stream append in lock-acquisition order.
 	ingestMu sync.Mutex
 	queue    chan queueItem
 	closed   bool   // ingest closed; queue drains to io.EOF
-	seq      uint64 // good records accepted (enqueued), under ingestMu
-	lineBase int    // lines accepted so far, offsets per-request ParseError line numbers
+	seq      uint64 // good records accepted, under ingestMu
+	lines    uint64 // lines accepted (good + bad), under ingestMu
 
 	runCtx context.Context
 	stop   context.CancelFunc
@@ -109,20 +125,22 @@ type stream struct {
 	mRecords *telemetry.Counter
 	mWindows *telemetry.Counter
 
-	mu          sync.Mutex
-	state       string
-	lastErr     string
-	unpaused    chan struct{} // closed when not paused
-	done        chan struct{} // closed when the current supervision session exits
-	consumed    uint64        // good records pulled from the queue by the source
-	badSeen     uint64        // malformed lines accepted into the queue
-	retained    []queueItem   // consumed items not yet covered by a checkpoint
-	replayLost  bool          // retained overflowed ReplayLimit; restart is impossible
-	consecFails int
-	restarts    int
-	lastCkpt    uint64 // Records position of the newest checkpoint saved
-	windows     []publishedWindow
-	winTrunc    bool // oldest windows were evicted past the history limit
+	mu           sync.Mutex
+	state        string
+	lastErr      string
+	unpaused     chan struct{} // closed when not paused
+	done         chan struct{} // closed when the current supervision session exits
+	consumed     uint64        // good records pulled from the queue by the source
+	consumedLine uint64        // newest accepted line consumed by the source
+	badSeen      uint64        // malformed lines accepted into the queue
+	retained     []queueItem   // consumed items not yet covered by a checkpoint (memory-only mode)
+	replayLost   bool          // retained overflowed ReplayLimit; restart is impossible
+	consecFails  int
+	restarts     int
+	lastCkpt     uint64 // Records position of the newest checkpoint saved
+	prevCkptLine uint64 // line position of the checkpoint before the newest (WAL truncation horizon)
+	windows      []publishedWindow
+	winTrunc     bool // oldest windows were evicted past the history limit
 }
 
 // closedChan is the shared always-open pause gate.
@@ -211,6 +229,8 @@ var (
 	errStreamQuarantined = fmt.Errorf("stream is quarantined")
 	errBackpressure      = fmt.Errorf("ingest queue full")
 	errOverload          = fmt.Errorf("server inflight-bytes cap reached")
+	errOffsetGap         = fmt.Errorf("ingest offset beyond accepted lines")
+	errDurability        = fmt.Errorf("ingest durability sync failed")
 )
 
 // lineGuard releases bytes from an ingest body only up to the last '\n'
@@ -256,13 +276,37 @@ func (g *lineGuard) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// acceptedLines returns the stream's cumulative accepted-line count — the
+// offset a well-behaved client should resume from. Reported with every
+// ingest response so a client whose acked count fell behind the stream
+// (recovery adopted synced-but-unacknowledged frames from a torn group)
+// can fast-forward instead of re-sending lines that will only be skipped.
+func (st *stream) acceptedLines() uint64 {
+	st.ingestMu.Lock()
+	defer st.ingestMu.Unlock()
+	return st.lines
+}
+
 // ingest parses the request body incrementally (one transaction per line)
-// and enqueues records until the body ends, the per-stream queue fills
+// and accepts records until the body ends, the per-stream queue fills
 // (backpressure), or the server-wide inflight cap is hit (overload). It
 // returns how many lines were accepted (good + bad); the caller maps err
 // to 429/503/4xx. Partial acceptance is the contract: the client retries
 // from its accepted offset.
-func (st *stream) ingest(body io.Reader) (accepted int, bad int, err error) {
+//
+// offset, when >= 0, is the client's count of lines it knows the stream
+// accepted: the stream skips the overlap (already-accepted lines re-sent
+// after a lost response), making retries idempotent. An offset ahead of
+// the stream is a gap — records the client believes accepted that the
+// stream never saw — and is refused with errOffsetGap.
+//
+// With a WAL, acceptance is durable acceptance: records stage in memory,
+// the request's whole group is fsynced (token journal first — WAL frames
+// reference its ids — then the frames), and only then do the records
+// become visible to the pipeline and countable in the response. A group
+// whose sync fails is unwound as if it never arrived, and the client
+// re-sends it.
+func (st *stream) ingest(body io.Reader, offset int64) (accepted int, bad int, err error) {
 	st.ingestMu.Lock()
 	defer st.ingestMu.Unlock()
 	switch {
@@ -277,54 +321,163 @@ func (st *stream) ingest(body io.Reader) (accepted int, bad int, err error) {
 	case StateFailed:
 		return 0, 0, errStreamClosed
 	}
+	var skip uint64
+	if offset >= 0 {
+		if o := uint64(offset); o > st.lines {
+			return 0, 0, fmt.Errorf("%w: offset %d, stream has accepted %d lines",
+				errOffsetGap, offset, st.lines)
+		} else {
+			skip = st.lines - o
+		}
+	}
+	lines0, seq0 := st.lines, st.seq
+	var (
+		staged      []queueItem
+		stagedBytes int64
+		badStaged   uint64
+	)
 	tr := data.NewTransactionReader(&lineGuard{r: body}, st.vocab)
+parse:
 	for {
 		rec, rerr := tr.Next()
 		var item queueItem
 		switch {
 		case rerr == io.EOF:
-			st.lineBase += tr.Line()
-			return accepted, bad, nil
+			break parse
 		case rerr == nil:
-			item = queueItem{rec: rec, seq: st.seq + 1}
-		default:
-			if pe, ok := rerr.(*data.ParseError); ok {
-				// Re-home the per-request line number onto the stream's
-				// cumulative line space for the quarantine audit trail.
-				item = queueItem{
-					bad: &data.ParseError{Line: st.lineBase + pe.Line, Token: pe.Token, Err: pe.Err},
-					seq: st.seq,
-				}
-				break
+			if skip > 0 {
+				skip--
+				continue
 			}
-			// The body itself failed mid-read (truncated upload, dropped
-			// client): everything accepted so far stays accepted.
-			st.lineBase += tr.Line()
-			return accepted, bad, fmt.Errorf("reading ingest body: %w", rerr)
+			item = queueItem{rec: rec, seq: st.seq + 1, line: st.lines + 1}
+		default:
+			pe, ok := rerr.(*data.ParseError)
+			if !ok {
+				// The body itself failed mid-read (truncated upload, dropped
+				// client): everything staged so far stays accepted.
+				err = fmt.Errorf("reading ingest body: %w", rerr)
+				break parse
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			// Re-home the line number onto the stream's cumulative
+			// accepted-line space (the WAL's coordinate) for the audit trail.
+			item = queueItem{
+				bad:  &data.ParseError{Line: int(st.lines) + 1, Token: pe.Token, Err: pe.Err},
+				seq:  st.seq,
+				line: st.lines + 1,
+			}
 		}
 		item.size = itemSize(item)
-		if st.srv.inflight.Load()+item.size > st.srv.opts.MaxInflightBytes {
-			st.lineBase += tr.Line()
-			return accepted, bad, errOverload
+		if st.srv.inflight.Load()+stagedBytes+item.size > st.srv.opts.MaxInflightBytes {
+			err = errOverload
+			break parse
 		}
-		select {
-		case st.queue <- item:
-			st.srv.addInflight(item.size)
-			if item.bad != nil {
-				bad++
-				st.mu.Lock()
-				st.badSeen++
-				st.mu.Unlock()
-			} else {
-				st.seq++
-				st.mRecords.Inc()
+		// Reserve queue capacity up front: this goroutine is the only
+		// sender, so len can only shrink and the post-sync flush below can
+		// never block.
+		if len(st.queue)+len(staged) >= cap(st.queue) {
+			err = errBackpressure
+			break parse
+		}
+		if st.wal != nil {
+			if werr := st.wal.Append(wal.Record{Line: item.line, Seq: item.seq, Rec: item.rec, Bad: item.bad}); werr != nil {
+				err = fmt.Errorf("%w: %v", errDurability, werr)
+				break parse
 			}
-			accepted++
-		default:
-			st.lineBase += tr.Line()
-			return accepted, bad, errBackpressure
 		}
+		staged = append(staged, item)
+		stagedBytes += item.size
+		if item.bad != nil {
+			badStaged++
+		} else {
+			st.seq++
+		}
+		st.lines++
 	}
+	if len(staged) == 0 {
+		return 0, 0, err
+	}
+	// Durability barrier: nothing below is acknowledged or handed to the
+	// pipeline before the group's fsyncs return.
+	if serr := st.syncDurable(); serr != nil {
+		// Unwind the acceptance: the staged lines never reached the disk or
+		// the pipeline, so the counters must not claim them — the client
+		// re-sends from its own offset and the dedup stays exact.
+		st.lines, st.seq = lines0, seq0
+		return 0, 0, fmt.Errorf("%w: %v", errDurability, serr)
+	}
+	// Visibility: charge the admission accounting and hand the group to
+	// the pipeline. Capacity was reserved during staging, so these sends
+	// cannot block.
+	for _, it := range staged {
+		st.srv.addInflight(it.size)
+		st.queue <- it
+		if it.bad != nil {
+			bad++
+		} else {
+			st.mRecords.Inc()
+		}
+		accepted++
+	}
+	if badStaged > 0 {
+		st.mu.Lock()
+		st.badSeen += badStaged
+		st.mu.Unlock()
+	}
+	return accepted, bad, err
+}
+
+// syncDurable fsyncs everything the current request accepted: newly
+// interned vocabulary tokens first — so no durable WAL frame can ever
+// reference an id the token journal does not cover — then the WAL group.
+// Called with ingestMu held; a nil WAL makes it a no-op.
+func (st *stream) syncDurable() error {
+	if st.wal == nil {
+		return nil
+	}
+	if n, total := st.tokens.Len(), st.vocab.Len(); total > n {
+		toks := make([]string, 0, total-n)
+		for i := n; i < total; i++ {
+			toks = append(toks, st.vocab.Token(itemset.Item(i)))
+		}
+		st.tokens.Append(toks)
+	}
+	if err := st.tokens.Sync(); err != nil {
+		return err
+	}
+	return st.wal.Sync()
+}
+
+// openDurable opens the stream's token journal and ingest WAL in dir,
+// pre-interning recovered tokens so replayed WAL item ids resolve to the
+// same strings they were written under. The returned report describes what
+// WAL recovery found (always clean on a freshly-wiped create).
+func (st *stream) openDurable(dir string, warnf func(string, ...any)) (wal.Report, error) {
+	tlog, toks, err := wal.OpenTokens(dir, warnf)
+	if err != nil {
+		return wal.Report{}, fmt.Errorf("opening token journal: %w", err)
+	}
+	st.tokens = tlog
+	for _, tok := range toks {
+		st.vocab.ID(tok)
+	}
+	lg, rep, err := wal.Open(dir, wal.Options{
+		SegmentBytes: st.srv.opts.WALSegmentBytes,
+		Logf:         warnf,
+		Metrics:      st.srv.opts.Registry,
+		Stream:       st.id,
+	})
+	if err != nil {
+		return wal.Report{}, fmt.Errorf("opening ingest wal: %w", err)
+	}
+	st.wal = lg
+	if st.srv.opts.hookWAL != nil {
+		st.srv.opts.hookWAL(st.id, lg)
+	}
+	return rep, nil
 }
 
 // closeIngest ends the stream: the queue drains to io.EOF, the pipeline
@@ -452,8 +605,13 @@ func (qs *queueSource) Next() (itemset.Itemset, error) {
 		if qs.next < len(qs.replay) {
 			it := qs.replay[qs.next]
 			qs.next++
-			// Replayed items were consumed (and retained) by the previous
-			// attempt; no accounting changes here.
+			if st.wal != nil {
+				// WAL replay items after a process restart were never consumed
+				// by this incarnation; the watermarks must advance here. (The
+				// memory-only retained buffer accounted its items when they
+				// were first consumed, so it changes nothing on replay.)
+				st.noteReplayed(it)
+			}
 			if it.bad != nil {
 				return itemset.Itemset{}, it.bad
 			}
@@ -475,14 +633,21 @@ func (qs *queueSource) Next() (itemset.Itemset, error) {
 	}
 }
 
-// noteConsumed moves one freshly-dequeued item into the replay buffer and
-// updates the consumption accounting.
+// noteConsumed updates the consumption accounting for one freshly-dequeued
+// item and, in memory-only mode, moves it into the retained replay buffer.
+// In durable mode the WAL tail is the replay buffer and nothing is retained.
 func (st *stream) noteConsumed(it queueItem) {
 	st.srv.addInflight(-it.size)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if it.bad == nil {
 		st.consumed = it.seq
+	}
+	if it.line > st.consumedLine {
+		st.consumedLine = it.line
+	}
+	if st.wal != nil {
+		return
 	}
 	if st.replayLost {
 		return
@@ -498,30 +663,61 @@ func (st *stream) noteConsumed(it queueItem) {
 	st.retained = append(st.retained, it)
 }
 
-// pruneRetained drops replay items covered by the checkpoint just saved
-// (wired to checkpoint.Store.OnSave).
-func (st *stream) pruneRetained(s *checkpoint.Snapshot) {
+// noteReplayed advances the consumption watermarks for an item delivered
+// from a WAL replay list — with max semantics, because an in-process
+// restart can replay items an earlier attempt already accounted.
+func (st *stream) noteReplayed(it queueItem) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if it.bad == nil && it.seq > st.consumed {
+		st.consumed = it.seq
+	}
+	if it.line > st.consumedLine {
+		st.consumedLine = it.line
+	}
+}
+
+// onCheckpointSave runs on every checkpoint save (wired to
+// checkpoint.Store.OnSave): it advances the checkpoint watermarks, prunes
+// WAL segments in durable mode, and prunes the retained replay buffer in
+// memory-only mode.
+//
+// The WAL truncation lags one checkpoint on purpose: restart loads the
+// newest READABLE snapshot, and if the newest file is lost to bit rot the
+// fallback generation still needs its WAL tail. The lag costs at most one
+// checkpoint interval of extra segments.
+func (st *stream) onCheckpointSave(s *checkpoint.Snapshot) {
+	st.mu.Lock()
+	horizon := st.prevCkptLine
+	st.prevCkptLine = s.Records + s.BadRecords
 	st.lastCkpt = s.Records
-	i := 0
-	for i < len(st.retained) && st.retained[i].seq <= s.Records {
-		i++
+	if st.wal == nil {
+		i := 0
+		for i < len(st.retained) && st.retained[i].seq <= s.Records {
+			i++
+		}
+		if i > 0 {
+			st.retained = append(st.retained[:0], st.retained[i:]...)
+		}
+		// A fresh checkpoint re-arms replayability: everything after it is
+		// retained from here on.
+		if st.replayLost && len(st.retained) == 0 && st.consumed == s.Records {
+			st.replayLost = false
+		}
+		st.mu.Unlock()
+		return
 	}
-	if i > 0 {
-		st.retained = append(st.retained[:0], st.retained[i:]...)
-	}
-	// A fresh checkpoint re-arms replayability: everything after it is
-	// retained from here on.
-	if st.replayLost && len(st.retained) == 0 && st.consumed == s.Records {
-		st.replayLost = false
+	st.mu.Unlock()
+	if err := st.wal.TruncateBefore(horizon); err != nil {
+		st.srv.log.Warn("wal truncation failed", "stream", st.id, "error", err.Error())
 	}
 }
 
 // buildRestart assembles the deterministic-restart inputs: the resume
 // snapshot (nil for a from-scratch restart), the synthetic skip prefix,
-// and the retained tail to replay, verifying the replay buffer actually
-// covers the gap between the snapshot and the consumption point.
+// and the tail to replay — read back from the WAL in durable mode, or
+// taken from the retained buffer in memory-only mode (verifying it
+// actually covers the gap between the snapshot and the consumption point).
 func (st *stream) buildRestart() (snap *checkpoint.Snapshot, synth uint64, replay []queueItem, err error) {
 	if st.store != nil {
 		snap, _, err = st.store.Latest()
@@ -536,6 +732,35 @@ func (st *stream) buildRestart() (snap *checkpoint.Snapshot, synth uint64, repla
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	consumed := st.consumed
+	if st.wal != nil {
+		// The replay bound: everything the pipeline may already have seen.
+		// consumedLine covers this incarnation's consumption; walBase covers
+		// lines recovered at adoption (never in this process's queue). Lines
+		// past the bound are still queued and will arrive normally.
+		bound := st.consumedLine
+		if st.walBase > bound {
+			bound = st.walBase
+		}
+		if consumed < want {
+			// Crashed while still fast-forwarding a resume: re-present
+			// everything consumed so far (the pipeline discards it again as
+			// part of its own skip) and keep the snapshot.
+			recs, terr := st.wal.Tail(0, bound)
+			if terr != nil {
+				return nil, 0, nil, fmt.Errorf("wal replay: %w", terr)
+			}
+			return snap, 0, walItems(recs), nil
+		}
+		var ckptLine uint64
+		if snap != nil {
+			ckptLine = snap.Records + snap.BadRecords
+		}
+		recs, terr := st.wal.Tail(ckptLine, bound)
+		if terr != nil {
+			return nil, 0, nil, fmt.Errorf("wal replay: %w", terr)
+		}
+		return snap, want, walItems(recs), nil
+	}
 	if st.replayLost {
 		return nil, 0, nil, fmt.Errorf("replay buffer overflowed ReplayLimit between checkpoints; cannot restart deterministically")
 	}
@@ -560,6 +785,17 @@ func (st *stream) buildRestart() (snap *checkpoint.Snapshot, synth uint64, repla
 		return nil, 0, nil, fmt.Errorf("replay buffer %s", gap)
 	}
 	return snap, synth, replay, nil
+}
+
+// walItems converts WAL records into replay queue items. Their inflight
+// bytes were refunded when first consumed (or never charged, for lines
+// recovered at boot), so size stays zero.
+func walItems(recs []wal.Record) []queueItem {
+	items := make([]queueItem, 0, len(recs))
+	for _, r := range recs {
+		items = append(items, queueItem{rec: r.Rec, bad: r.Bad, seq: r.Seq, line: r.Line})
+	}
+	return items
 }
 
 // verifyReplay checks that the good records in replay are exactly
@@ -633,6 +869,24 @@ func (st *stream) windowsFrom(from int) ([]publishedWindow, bool) {
 	return out, st.winTrunc
 }
 
+// closeDurable closes the stream's WAL and token journal exactly once.
+// Close drops any unsynced buffered frames — exactly what a crash would —
+// so the abort path can use it as a crash simulation.
+func (st *stream) closeDurable() {
+	st.closeDur.Do(func() {
+		if st.wal != nil {
+			if err := st.wal.Close(); err != nil {
+				st.srv.log.Warn("wal close failed", "stream", st.id, "error", err.Error())
+			}
+		}
+		if st.tokens != nil {
+			if err := st.tokens.Close(); err != nil {
+				st.srv.log.Warn("token journal close failed", "stream", st.id, "error", err.Error())
+			}
+		}
+	})
+}
+
 // releaseLease releases the stream's checkpoint lease exactly once.
 func (st *stream) releaseLease() {
 	st.release.Do(func() {
@@ -646,8 +900,19 @@ func (st *stream) releaseLease() {
 
 // status snapshots the stream for the control plane.
 func (st *stream) status() StreamStatus {
+	// WAL segment count takes the wal's own lock; read it before st.mu.
+	var segs int
+	if st.wal != nil {
+		segs = st.wal.SegmentCount()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// A stream parked at adoption because its scheme no longer parses has
+	// no pipeline config; fall back to the configured name.
+	scheme := st.cfg.Scheme
+	if st.pipeCfg.Scheme != nil {
+		scheme = st.pipeCfg.Scheme.Name()
+	}
 	return StreamStatus{
 		ID:                  st.id,
 		State:               st.state,
@@ -662,7 +927,11 @@ func (st *stream) status() StreamStatus {
 		ConsecutiveFailures: st.consecFails,
 		CheckpointRecords:   st.lastCkpt,
 		Workers:             st.cfg.Workers,
-		Scheme:              st.pipeCfg.Scheme.Name(),
+		Scheme:              scheme,
+		AcceptedLines:       st.lines,
+		Durable:             st.wal != nil,
+		ReplayLost:          st.replayLost,
+		WALSegments:         segs,
 	}
 }
 
