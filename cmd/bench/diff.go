@@ -13,6 +13,14 @@ package main
 //     mode, CPU count, GOMAXPROCS) a drop beyond windowsTolerance FAILS;
 //     when the contexts differ the drop degrades to a WARN, because a
 //     one-iteration CI smoke run on a different box cannot indict the code.
+//   - the durability tax — each publish/checkpointed* scenario's
+//     windows/sec as a fraction of the same run's publish/workers=2 — is
+//     gated unconditionally: numerator and denominator come from one
+//     process on one box, so the ratio is a property of the code (sync
+//     count and snapshot bytes per generation) the way allocs/op is, and
+//     it FAILS beyond taxTolerance even when the contexts differ. Quietly
+//     re-growing the tax is exactly what delta checkpointing was built to
+//     prevent, so the checkpointed scenarios are never WARN-only.
 //   - ns/op only ever WARNs: it moves with windows/sec on the pipeline
 //     scenarios and is pure noise on the mining microbenchmarks' short runs.
 //
@@ -24,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // Regression tolerances, as fractions of the baseline value.
@@ -31,7 +40,12 @@ const (
 	allocTolerance   = 0.25 // allocs/op may grow this much before failing
 	windowsTolerance = 0.15 // windows/sec may drop this much before failing
 	nsTolerance      = 0.15 // ns/op beyond this warns (never fails)
+	taxTolerance     = 0.25 // the checkpointed/plain throughput ratio may drop this much
 )
+
+// taxBaseScenario is the uncheckpointed run the durability tax is measured
+// against: the checkpointed scenarios use the same records and worker tier.
+const taxBaseScenario = "publish/workers=2"
 
 // finding is one comparison outcome worth reporting.
 type finding struct {
@@ -128,6 +142,9 @@ func compareReports(baseline, fresh report) []finding {
 				findings = append(findings, finding{wallLevel, base.Name, msg})
 			}
 		}
+		if f, ok := durabilityTax(base, cur, baseline, fresh); ok {
+			findings = append(findings, f)
+		}
 		if base.NsPerOp > 0 {
 			limit := float64(base.NsPerOp) * (1 + nsTolerance)
 			if float64(cur.NsPerOp) > limit {
@@ -144,6 +161,39 @@ func compareReports(baseline, fresh report) []finding {
 		}
 	}
 	return findings
+}
+
+// durabilityTax gates a publish/checkpointed* scenario's throughput as a
+// fraction of the same run's taxBaseScenario. Because both sides of each
+// ratio were measured by one process on one machine, a ratio drop indicts
+// the code, not the box — so this FAILS regardless of context, which is
+// what keeps the checkpointed scenarios gated under CI's quick smoke runs.
+func durabilityTax(base, cur result, baseline, fresh report) (finding, bool) {
+	if !strings.HasPrefix(base.Name, "publish/checkpointed") {
+		return finding{}, false
+	}
+	basePlain := scenarioWPS(baseline, taxBaseScenario)
+	curPlain := scenarioWPS(fresh, taxBaseScenario)
+	if base.WindowsPerSec <= 0 || cur.WindowsPerSec <= 0 || basePlain <= 0 || curPlain <= 0 {
+		return finding{}, false
+	}
+	baseRatio := base.WindowsPerSec / basePlain
+	curRatio := cur.WindowsPerSec / curPlain
+	if curRatio >= baseRatio*(1-taxTolerance) {
+		return finding{}, false
+	}
+	return finding{"FAIL", base.Name, fmt.Sprintf(
+		"durability tax regressed: %.0f%% of %s throughput, baseline %.0f%% (ratio gate is machine-independent, fails in any context)",
+		curRatio*100, taxBaseScenario, baseRatio*100)}, true
+}
+
+func scenarioWPS(rep report, name string) float64 {
+	for _, s := range rep.Scenarios {
+		if s.Name == name {
+			return s.WindowsPerSec
+		}
+	}
+	return 0
 }
 
 // runDiff loads the baseline, compares, prints findings to stderr, and

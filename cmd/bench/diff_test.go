@@ -24,6 +24,26 @@ func mkReport(allocs, ns int64, wps float64) report {
 	}
 }
 
+// mkTaxReport builds a report with the plain workers=2 scenario plus a
+// checkpointed-delta scenario, the pair the durability-tax ratio gate reads.
+func mkTaxReport(quick bool, plainWPS, ckptWPS float64) report {
+	mk := func(name string, wps float64) result {
+		return result{
+			Name: name, Iterations: 3, NsPerOp: 8_000_000, AllocsPerOp: 10000,
+			BytesPerOp: 1 << 20, WindowsPerOp: benchWindows, WindowsPerSec: wps,
+		}
+	}
+	return report{
+		Schema: benchSchema,
+		CPUs:   4, GOMAXPROCS: 4,
+		Quick: quick,
+		Scenarios: []result{
+			mk(taxBaseScenario, plainWPS),
+			mk("publish/checkpointed-delta", ckptWPS),
+		},
+	}
+}
+
 func levelsFor(t *testing.T, findings []finding, scenario string) []string {
 	t.Helper()
 	var got []string
@@ -101,6 +121,34 @@ func TestCompareReports(t *testing.T) {
 				return r
 			}(),
 			wantWarns: 1,
+		},
+		{
+			// The tax ratio drops from 33% to 22% of plain throughput
+			// (-33% > 25% tolerance): that fails even in quick mode, while
+			// the absolute windows/sec drops only warn there.
+			name:      "durability tax regression fails even under mismatched context",
+			baseline:  mkTaxReport(false, 2000, 660),
+			fresh:     mkTaxReport(true, 1500, 330),
+			wantFail:  true,
+			wantFails: 1,
+			wantWarns: 2, // both scenarios' absolute windows/sec drops
+		},
+		{
+			// A uniformly slower quick run preserves the tax ratio: the
+			// checkpointed scenario stays WARN-only like its plain peer.
+			name:      "slower box with preserved tax ratio passes",
+			baseline:  mkTaxReport(false, 2000, 660),
+			fresh:     mkTaxReport(true, 1000, 330),
+			wantWarns: 2,
+		},
+		{
+			// Same comparable context: the absolute windows/sec drop fails
+			// on its own, and the ratio gate fires alongside it.
+			name:      "checkpointed regression under comparable context fails twice",
+			baseline:  mkTaxReport(false, 2000, 660),
+			fresh:     mkTaxReport(false, 2000, 330),
+			wantFail:  true,
+			wantFails: 2,
 		},
 		{
 			name:     "alloc regression still fails under mismatched context",

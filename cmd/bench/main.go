@@ -1,6 +1,7 @@
 // Command bench is the repository's scripted perf harness: it runs a fixed
 // scenario suite — Eclat and Moment mining, pipeline publication at worker
-// tiers 1/2/8, and a checkpointed run — through testing.Benchmark and
+// tiers 1/2/8, and checkpointed runs (all-full snapshots and delta chains)
+// — through testing.Benchmark and
 // writes the measurements to BENCH_pipeline.json (ns/op, windows/sec,
 // allocs/op, bytes/op per scenario). The JSON is the machine-readable perf
 // trajectory CI archives on every build, so a regression shows up as a
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -117,8 +119,11 @@ func benchMoment(records []itemset.Itemset) func(b *testing.B) {
 }
 
 // benchPublish runs the full pipeline (mine, perturb, emit) at the given
-// worker tier; checkpointed additionally snapshots every window.
-func benchPublish(records []itemset.Itemset, workers int, checkpointed bool) func(b *testing.B) {
+// worker tier. fullEvery > 0 additionally checkpoints every window:
+// fullEvery=1 writes a full snapshot per generation (the v1 durability tax),
+// fullEvery=N>1 anchors a full every N generations and appends delta frames
+// between them (the v2 chain format).
+func benchPublish(records []itemset.Itemset, workers, fullEvery int) func(b *testing.B) {
 	return func(b *testing.B) {
 		cfg := pipeline.Config{
 			WindowSize:   benchWindow,
@@ -128,7 +133,7 @@ func benchPublish(records []itemset.Itemset, workers int, checkpointed bool) fun
 			PublishEvery: benchPublishEvery,
 			Workers:      workers,
 		}
-		if checkpointed {
+		if fullEvery > 0 {
 			dir, err := os.MkdirTemp("", "bench-ckpt-*")
 			if err != nil {
 				b.Fatal(err)
@@ -136,6 +141,7 @@ func benchPublish(records []itemset.Itemset, workers int, checkpointed bool) fun
 			defer os.RemoveAll(dir)
 			cfg.CheckpointDir = dir
 			cfg.CheckpointEvery = 1
+			cfg.CheckpointFullEvery = fullEvery
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -168,14 +174,19 @@ func scenarios() []scenario {
 		s = append(s, scenario{
 			name:    fmt.Sprintf("publish/workers=%d", workers),
 			windows: benchWindows,
-			bench:   benchPublish(records, workers, false),
+			bench:   benchPublish(records, workers, 0),
 		})
 	}
 	s = append(s, scenario{
 		name:    "publish/checkpointed",
 		windows: benchWindows,
-		bench:   benchPublish(records, 2, true),
-	})
+		bench:   benchPublish(records, 2, 1),
+	},
+		scenario{
+			name:    "publish/checkpointed-delta",
+			windows: benchWindows,
+			bench:   benchPublish(records, 2, 16),
+		})
 	return s
 }
 
@@ -198,6 +209,20 @@ func runSuite(quick bool, timestamp string) report {
 	}
 	for _, sc := range scenarios() {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", sc.name)
+		if quick {
+			// One iteration is enough for the alloc gate, but the
+			// checkpointed scenarios feed the durability-tax ratio gate and
+			// a single fsync-bound iteration is too noisy to gate on; ten
+			// iterations still cost well under a second.
+			bt := "1x"
+			if strings.HasPrefix(sc.name, "publish/checkpointed") {
+				bt = "10x"
+			}
+			if err := setBenchtime(bt); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		r := testing.Benchmark(sc.bench)
 		res := result{
 			Name:         sc.name,

@@ -42,7 +42,7 @@ func TestBenchSuiteWellFormedJSON(t *testing.T) {
 	wantScenarios := []string{
 		"mine/eclat", "mine/moment",
 		"publish/workers=1", "publish/workers=2", "publish/workers=8",
-		"publish/checkpointed",
+		"publish/checkpointed", "publish/checkpointed-delta",
 	}
 	if len(decoded.Scenarios) != len(wantScenarios) {
 		t.Fatalf("suite ran %d scenarios, want %d: %+v", len(decoded.Scenarios), len(wantScenarios), decoded.Scenarios)

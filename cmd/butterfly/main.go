@@ -114,6 +114,7 @@ type flagValues struct {
 	windowTimeout                   time.Duration
 	checkpointDir                   string
 	checkpointEvery, checkpointKeep int
+	checkpointFullEvery             int
 	resume                          bool
 	input                           string
 	traceWindows                    int
@@ -158,6 +159,9 @@ func validateFlags(v flagValues) error {
 	}
 	if v.checkpointDir != "" && v.checkpointKeep < 1 {
 		return fmt.Errorf("-checkpoint-keep %d must be >= 1", v.checkpointKeep)
+	}
+	if v.checkpointDir != "" && v.checkpointFullEvery < 1 {
+		return fmt.Errorf("-checkpoint-full-every %d must be >= 1 (1: every checkpoint a full snapshot)", v.checkpointFullEvery)
 	}
 	if v.resume && v.checkpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
@@ -205,6 +209,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		checkpointDir  = fs.String("checkpoint-dir", "", "write crash-safe state snapshots to DIR (see -checkpoint-every, -resume)")
 		checkpointEvry = fs.Int("checkpoint-every", 16, "published windows between checkpoints (with -checkpoint-dir)")
 		checkpointKeep = fs.Int("checkpoint-keep", 3, "checkpoint generations to retain (with -checkpoint-dir)")
+		checkpointFull = fs.Int("checkpoint-full-every", 16, "checkpoints between full snapshots; the rest are appended delta frames (1: all full)")
 		resume         = fs.Bool("resume", false, "resume from the newest usable checkpoint in -checkpoint-dir")
 		telemetryAddr  = fs.String("telemetry-addr", "", "serve /metrics, /debug/vars, /debug/trace/events and /debug/pprof on HOST:PORT (empty: off)")
 		traceOut       = fs.String("trace-out", "", "write the per-window trace as Chrome trace-event JSON to FILE at exit (Perfetto-loadable)")
@@ -220,7 +225,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxBadRecords: *maxBadRecords, emitRetries: *emitRetries,
 		windowTimeout: *windowTimeout, checkpointDir: *checkpointDir,
 		checkpointEvery: *checkpointEvry, checkpointKeep: *checkpointKeep,
-		resume: *resume, input: *input, traceWindows: *traceWindows,
+		checkpointFullEvery: *checkpointFull,
+		resume:              *resume, input: *input, traceWindows: *traceWindows,
 	}); err != nil {
 		return err
 	}
@@ -340,21 +346,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MinSupport:  *support,
 			VulnSupport: *vuln,
 		},
-		Scheme:          sch,
-		Seed:            *seed,
-		ClosedOnly:      *closed,
-		Raw:             *raw,
-		PublishEvery:    *publishEvery,
-		Workers:         *workers,
-		MaxBadRecords:   *maxBadRecords,
-		EmitRetries:     *emitRetries,
-		WindowTimeout:   *windowTimeout,
-		CheckpointEvery: ckptEvery,
-		CheckpointKeep:  *checkpointKeep,
-		Checkpoints:     store,
-		Resume:          resumeSnap,
-		Metrics:         reg,
-		Trace:           tracer,
+		Scheme:              sch,
+		Seed:                *seed,
+		ClosedOnly:          *closed,
+		Raw:                 *raw,
+		PublishEvery:        *publishEvery,
+		Workers:             *workers,
+		MaxBadRecords:       *maxBadRecords,
+		EmitRetries:         *emitRetries,
+		WindowTimeout:       *windowTimeout,
+		CheckpointEvery:     ckptEvery,
+		CheckpointFullEvery: *checkpointFull,
+		CheckpointKeep:      *checkpointKeep,
+		Checkpoints:         store,
+		Resume:              resumeSnap,
+		Metrics:             reg,
+		Trace:               tracer,
 	})
 	if err != nil {
 		return err

@@ -61,6 +61,7 @@ type flagValues struct {
 	restartBackoff   time.Duration
 	replayLimit      int
 	drainTimeout     time.Duration
+	ckptFullEvery    int
 }
 
 // validateFlags rejects values that would otherwise surface as undefined
@@ -93,6 +94,9 @@ func validateFlags(v flagValues) error {
 	if v.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout %v must be > 0", v.drainTimeout)
 	}
+	if v.ckptFullEvery < 1 {
+		return fmt.Errorf("-checkpoint-full-every %d must be >= 1 (1: every checkpoint a full snapshot)", v.ckptFullEvery)
+	}
 	return nil
 }
 
@@ -116,6 +120,7 @@ func run(args []string, stdout io.Writer) error {
 		breakerFailures = fs.Int("breaker-failures", 3, "consecutive failed runs before a stream is quarantined")
 		restartBackoff  = fs.Duration("restart-backoff", 25*time.Millisecond, "initial in-process restart delay (doubles per consecutive failure)")
 		replayLimit     = fs.Int("replay-limit", 65536, "per-stream replay buffer cap in records (restartability bound)")
+		ckptFullEvery   = fs.Int("checkpoint-full-every", 16, "default checkpoints between full snapshots per stream; the rest are delta frames (1: all full)")
 		drainTimeout    = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline after the first signal")
 		logJSON         = fs.Bool("log-json", false, "emit logs as structured JSON (log/slog) on stderr")
 	)
@@ -132,6 +137,7 @@ func run(args []string, stdout io.Writer) error {
 		queueDepth: *queueDepth, history: *history,
 		breakerFailures: *breakerFailures, restartBackoff: *restartBackoff,
 		replayLimit: *replayLimit, drainTimeout: *drainTimeout,
+		ckptFullEvery: *ckptFullEvery,
 	}); err != nil {
 		return err
 	}
@@ -146,17 +152,18 @@ func run(args []string, stdout io.Writer) error {
 
 	reg := telemetry.NewRegistry()
 	srv := server.New(server.Options{
-		DataDir:          *dataDir,
-		MaxStreams:       *maxStreams,
-		MaxInflightBytes: *maxInflight,
-		QueueDepth:       *queueDepth,
-		History:          *history,
-		BreakerFailures:  *breakerFailures,
-		RestartBackoff:   *restartBackoff,
-		ReplayLimit:      *replayLimit,
-		DrainTimeout:     *drainTimeout,
-		Logger:           logger,
-		Registry:         reg,
+		DataDir:             *dataDir,
+		MaxStreams:          *maxStreams,
+		MaxInflightBytes:    *maxInflight,
+		QueueDepth:          *queueDepth,
+		History:             *history,
+		BreakerFailures:     *breakerFailures,
+		RestartBackoff:      *restartBackoff,
+		ReplayLimit:         *replayLimit,
+		DrainTimeout:        *drainTimeout,
+		CheckpointFullEvery: *ckptFullEvery,
+		Logger:              logger,
+		Registry:            reg,
 	})
 
 	// Recover every stream the previous process promised durability before

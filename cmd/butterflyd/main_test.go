@@ -23,6 +23,7 @@ func validFlags() flagValues {
 		restartBackoff:   time.Millisecond,
 		replayLimit:      1024,
 		drainTimeout:     time.Second,
+		ckptFullEvery:    16,
 	}
 }
 
@@ -46,6 +47,7 @@ func TestValidateFlags(t *testing.T) {
 		{"negative restart backoff", func(v *flagValues) { v.restartBackoff = -time.Second }, "-restart-backoff"},
 		{"zero replay limit", func(v *flagValues) { v.replayLimit = 0 }, "-replay-limit"},
 		{"zero drain timeout", func(v *flagValues) { v.drainTimeout = 0 }, "-drain-timeout"},
+		{"zero checkpoint-full-every", func(v *flagValues) { v.ckptFullEvery = 0 }, "-checkpoint-full-every"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,28 +1,59 @@
 // Package checkpoint makes the streaming publication pipeline crash-safe:
 // it serializes the state a resumed run needs — the source position, the
 // sliding-window transaction buffer, and the full publisher state (window
-// counter, RNG cursor, republication cache, incremental-bias memo) — into
-// versioned, CRC32-checksummed snapshot files, and manages a directory of
-// atomically-written snapshot generations.
+// counter, RNG cursor, republication cache, incremental-bias memo) — and
+// manages a directory of checkpoint generations.
 //
 // The correctness bar is deterministic resume: a run killed at any
-// checkpointed window boundary and restarted from the snapshot publishes
-// the remaining windows byte-identically to an uninterrupted run. In
-// particular a re-published window re-serves the SAME sanitized supports —
-// the consistent-republication guarantee of §VI survives the crash, so an
-// adversary cannot crash-loop the service to collect fresh perturbations
-// and average the noise out.
+// checkpointed window boundary and restarted from the newest recoverable
+// generation publishes the remaining windows byte-identically to an
+// uninterrupted run. In particular a re-published window re-serves the SAME
+// sanitized supports — the consistent-republication guarantee of §VI
+// survives the crash, so an adversary cannot crash-loop the service to
+// collect fresh perturbations and average the noise out.
 //
-// The wire format is frozen at version 1:
+// # On-disk formats
+//
+// A generation is either a FULL snapshot or a DELTA frame. Full snapshots
+// (ckpt-%016d.bfck, named by record position so lexical order is stream
+// order) use the version-1 format, frozen:
 //
 //	magic "BFLYCKPT" | uint32 LE version | payload | uint32 LE CRC32(IEEE)
 //
 // The checksum covers everything before it (magic, version, payload).
 // Integers are varint-encoded (unsigned where the domain is non-negative,
 // zigzag where it is not); itemsets are delta-encoded over their strictly
-// increasing items. Decode never panics: a torn, truncated, bit-flipped or
-// fabricated file surfaces as an error wrapping ErrCorrupt, and a file from
-// a future format version as one wrapping ErrVersion.
+// increasing items.
+//
+// Delta frames (format version 2, see delta.go) live in an append-only
+// chain segment (delta-%016d.bfdl) beside the full snapshot that anchors
+// them. Each CRC-framed delta serializes only what changed since its parent
+// — cache upserts/evictions, appended window records, the small always-hot
+// scalars — and names the parent by record position and checksum, forming a
+// hash chain rooted at the anchor file's bytes. `CheckpointFullEvery`
+// compaction bounds chain length; version 1 remains the full-snapshot
+// fallback every chain is rooted in.
+//
+// # Invariants
+//
+//   - Full saves are atomic: temp file, fsync, rename, directory fsync. A
+//     crash at any instant leaves every earlier generation intact.
+//   - Delta appends are one buffered write to an open segment; the chain
+//     tail is synced when the next anchor supersedes it, on Close, or by OS
+//     writeback. A torn, unsynced or corrupt tail degrades recovery to the
+//     longest valid frame prefix (never a partial frame) — at worst the
+//     bare anchor — exactly like internal/wal tails. Durability lives in
+//     anchors (and the server's ingest WAL); frames bound replay.
+//   - Decode and DecodeDelta never panic: torn, truncated, bit-flipped or
+//     fabricated input surfaces as an error wrapping ErrCorrupt, and a
+//     future-version header as one wrapping ErrVersion. Both formats are
+//     canonical — decode then re-encode reproduces the input bytes.
+//   - Recovery (Store.LatestDetail) walks fulls newest-first, skipping
+//     undecodable ones, then applies the chosen full's valid chain prefix.
+//     One corrupt file costs at most one generation of progress.
+//   - External truncation horizons (the server's ingest-WAL floor) may only
+//     advance on FULL saves, to the anchor position: replaying a chain
+//     after the next crash needs the anchor and every record after it.
 package checkpoint
 
 import (
@@ -284,6 +315,15 @@ func (r *reader) count(what string) (int, error) {
 			ErrCorrupt, what, v, r.remaining())
 	}
 	return int(v), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated u32 at offset %d", ErrCorrupt, r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
 }
 
 func (r *reader) uint64() (uint64, error) {

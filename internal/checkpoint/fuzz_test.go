@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -32,6 +34,14 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add(future) // well-formed file from a newer build
 	f.Add([]byte("BFLYCKPT"))
 	f.Add([]byte{})
+	// Delta-chain material: a v2 segment handed to the v1 decoder must be
+	// cleanly rejected (different magic), whole, truncated or cross-linked.
+	seg := testSegment(f)
+	f.Add(seg)
+	f.Add(seg[:len(seg)/2])
+	crossed := append([]byte(nil), seg...)
+	crossed[20] ^= 0xFF // anchor-CRC field of the segment header
+	f.Add(crossed)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := checkpoint.Decode(data)
@@ -52,4 +62,109 @@ func FuzzCheckpointDecode(f *testing.F) {
 			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
 		}
 	})
+}
+
+// testSegment builds a real two-frame chain segment through the store and
+// returns its bytes. Deterministic: testSnapshot and testDelta derive all
+// content from fixed seeds.
+func testSegment(f *testing.F) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	st, err := checkpoint.NewStore(dir, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := testSnapshot(f)
+	if err := st.Save(s); err != nil {
+		f.Fatal(err)
+	}
+	tip := deepCopy(f, s)
+	for i := uint64(1); i <= 2; i++ {
+		d := testDelta(f, tip, 10, i)
+		if err := st.AppendDelta(d); err != nil {
+			f.Fatal(err)
+		}
+		if err := checkpoint.ApplyDelta(tip, d); err != nil {
+			f.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "delta-*.bfdl"))
+	if err != nil || len(segs) != 1 {
+		f.Fatalf("segment glob = %v, %v", segs, err)
+	}
+	seg, err := os.ReadFile(segs[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	return seg
+}
+
+// FuzzCheckpointDeltaChain pins the chain replayer's safety contract:
+// whatever the segment bytes — torn appends, bit flips, frames spliced from
+// another chain, fabricated headers — ApplyChain must never panic, must
+// apply only a consistent prefix (the result still re-encodes as a valid
+// snapshot), and must apply nothing at all when the header does not bind to
+// the anchor. DecodeDelta is held to the same canonical-format contract as
+// the v1 decoder along the way.
+func FuzzCheckpointDeltaChain(f *testing.F) {
+	seg := testSegment(f)
+	f.Add(seg)
+	f.Add(seg[:len(seg)-7]) // torn mid-frame, like a crash during AppendDelta
+	f.Add(seg[:checkpoint.SegHeaderLen])
+	orphan := append([]byte(nil), seg...)
+	binary.LittleEndian.PutUint64(orphan[12:], 999) // anchored to a full that never existed
+	f.Add(orphan)
+	crossed := append([]byte(nil), seg...)
+	crossed[checkpoint.SegHeaderLen+5] ^= 0xFF // damage the first frame's parent fingerprint
+	f.Add(crossed)
+	f.Add([]byte("BFLYCKD2"))
+	f.Add([]byte{})
+
+	anchorBytes, err := checkpoint.Encode(testSnapshot(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	anchorCRC := crc32.ChecksumIEEE(anchorBytes)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		anchor, err := checkpoint.Decode(anchorBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := checkpoint.ApplyChain(anchor, data, anchor.Records, anchorCRC, nil)
+		if applied < 0 {
+			t.Fatalf("ApplyChain applied %d frames", applied)
+		}
+		if applied == 0 && anchorCRC != crc32.ChecksumIEEE(mustEncode(t, anchor)) {
+			t.Fatal("rejected segment mutated the anchor")
+		}
+		// Whatever prefix was applied, the result is a coherent snapshot.
+		mustEncode(t, anchor)
+
+		// The frame payload decoder shares the v1 contract: error wrapping
+		// ErrCorrupt, or a canonical re-encode.
+		d, parentCRC, err := checkpoint.DecodeDelta(data)
+		if err != nil {
+			if !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("DecodeDelta error outside the contract: %v", err)
+			}
+			return
+		}
+		re, err := checkpoint.EncodeDelta(d, parentCRC)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded delta: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("delta decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}
+
+func mustEncode(t *testing.T, s *checkpoint.Snapshot) []byte {
+	t.Helper()
+	enc, err := checkpoint.Encode(s)
+	if err != nil {
+		t.Fatalf("snapshot no longer encodes: %v", err)
+	}
+	return enc
 }

@@ -91,7 +91,12 @@ func TestStoreOnSaveHook(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []uint64
-	st.OnSave = func(s *Snapshot) { got = append(got, s.Records) }
+	st.OnSave = func(sv Saved) {
+		if !sv.Full {
+			t.Errorf("Save reported Full=false for a full snapshot")
+		}
+		got = append(got, sv.Records)
+	}
 	snap := &Snapshot{Meta: Meta{WindowSize: 1}, Records: 7, Window: nil}
 	// Window length 0 is fine at the store layer; only pipeline resume
 	// validates it against a config.

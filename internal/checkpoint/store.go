@@ -1,8 +1,10 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,16 +15,21 @@ import (
 // They are part of the store's tested contract:
 //
 //   - CrashBeforeWrite: nothing has touched the disk; every existing
-//     generation is intact.
+//     generation is intact. (Fires for both full saves and delta appends.)
 //   - CrashBeforeRename: the temp file is fully written and synced but the
-//     atomic rename never happened; recovery ignores the orphan.
+//     atomic rename never happened; recovery ignores the orphan. (Full
+//     saves only — delta appends have no rename step.)
 //   - CrashTornWrite: simulates a filesystem without atomic rename — a
 //     torn half-snapshot lands under the FINAL generation name; recovery
 //     must detect it by checksum and fall back a generation.
+//   - CrashTornDelta: the process dies mid-append — half a delta frame
+//     lands at the tail of the chain segment; recovery must degrade to the
+//     frames before it.
 const (
 	CrashBeforeWrite  = "before-write"
 	CrashBeforeRename = "before-rename"
 	CrashTornWrite    = "torn-write"
+	CrashTornDelta    = "torn-delta"
 )
 
 // ErrInjectedCrash is returned by Save when the CrashHook fired: the test
@@ -33,18 +40,50 @@ var ErrInjectedCrash = errors.New("checkpoint: injected crash")
 // caller does not say otherwise.
 const DefaultKeep = 3
 
-// pattern matches generation files; the zero-padded record position makes
-// lexical order equal stream order.
+// patterns match generation and delta-segment files; the zero-padded record
+// position makes lexical order equal stream order. A chain segment shares
+// its anchor full snapshot's record position.
 const (
-	genFormat = "ckpt-%016d.bfck"
-	genGlob   = "ckpt-*.bfck"
+	genFormat   = "ckpt-%016d.bfck"
+	genGlob     = "ckpt-*.bfck"
+	deltaFormat = "delta-%016d.bfdl"
+	deltaGlob   = "delta-*.bfdl"
 )
 
-// Store manages a directory of checkpoint generations. Saves are atomic
-// (temp file, fsync, rename, directory fsync) and pruned to the last keep
-// generations; loads walk generations newest-first, skipping any snapshot
-// that fails validation, so one corrupt file costs one generation of
-// progress, never the run.
+// Saved describes one durably-persisted checkpoint generation — the payload
+// of the Store.OnSave notification. Full distinguishes anchor full
+// snapshots from delta frames: only a full snapshot may advance external
+// truncation horizons (the server's WAL floor), because chain recovery
+// needs every record after the newest full's position.
+type Saved struct {
+	// Records and BadRecords are the persisted cut's stream counters, with
+	// the same meaning as the Snapshot fields.
+	Records    uint64
+	BadRecords uint64
+	// Full is true for an anchor full snapshot, false for a delta frame.
+	Full bool
+}
+
+// chainState tracks the delta chain rooted at the most recent full save.
+type chainState struct {
+	open        bool     // a full snapshot anchored a chain this process can extend
+	anchor      uint64   // anchor full snapshot's Records position
+	anchorCRC   uint32   // CRC32 of the anchor file's complete bytes
+	lastCRC     uint32   // CRC32 of the chain tip (anchor file or last frame payload)
+	lastRecords uint64   // Records position of the chain tip
+	frames      int      // frames appended since the anchor
+	dirty       bool     // frames written since the last datasync
+	path        string   // segment file path
+	f           *os.File // open segment file, created lazily on first append
+}
+
+// Store manages a directory of checkpoint generations: full snapshots,
+// atomically written (temp file, fsync, rename, directory fsync) and pruned
+// to the last keep generations, plus one append-only delta-chain segment
+// beside each full (see delta.go). Loads walk full snapshots newest-first,
+// skipping any that fails validation, then extend the chosen full with its
+// chain's longest valid frame prefix — one corrupt file costs at most one
+// generation of progress, never the run.
 //
 // Store is used from a single goroutine (the pipeline's emit stage), like
 // the sources and sinks around it.
@@ -60,17 +99,21 @@ type Store struct {
 	// CrashHook, when non-nil, is consulted with each crash point and the
 	// 1-based save number; returning true simulates a process crash there
 	// (see the CrashBefore*/CrashTorn constants). Test-only, like
-	// core.Publisher's chunkHook.
+	// core.Publisher's chunkHook. Save and AppendDelta share the save
+	// counter, so a crash plan addresses a generation regardless of kind.
 	CrashHook func(point string, save int) bool
 
-	// OnSave, when non-nil, is called after each successful Save with the
-	// snapshot just persisted — the durability notification the multi-stream
-	// server uses to prune its in-memory replay buffers. It runs on the
-	// saving goroutine (the pipeline's emit stage), after the rename and
-	// prune have completed.
-	OnSave func(s *Snapshot)
+	// OnSave, when non-nil, is called after each successfully persisted
+	// generation — full or delta — with its stream position. It is the
+	// durability notification the multi-stream server uses to prune replay
+	// buffers and advance WAL truncation. It runs on the saving goroutine
+	// (the pipeline's emit stage), after the write protocol has completed.
+	OnSave func(sv Saved)
 
-	saves int
+	saves         int
+	chain         chainState
+	frameBuf      []byte // reusable append buffer for header+frame bytes
+	lastSaveBytes int
 }
 
 // NewStore opens (creating if needed) a checkpoint directory retaining the
@@ -111,6 +154,10 @@ func (st *Store) Save(s *Snapshot) error {
 	if st.crash(CrashBeforeWrite) {
 		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashBeforeWrite)
 	}
+	// Retire the current chain before anything can go wrong with the new
+	// full: closeChain syncs its unsynced tail, so if this save dies midway
+	// the chain it was about to supersede is durable to its tip.
+	st.closeChain()
 	data, err := Encode(s)
 	if err != nil {
 		return err
@@ -135,9 +182,159 @@ func (st *Store) Save(s *Snapshot) error {
 		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
 	}
 	syncDir(st.dir)
+	// The fresh full anchors a fresh, empty chain. A re-saved full at a
+	// position an older incarnation also checkpointed may have left a stale
+	// chain segment beside it; appending to it would splice two runs, so it
+	// is removed up front.
+	seg := st.segmentPath(s.Records)
+	if err := os.Remove(seg); err != nil && !os.IsNotExist(err) {
+		st.logf("checkpoint: removing stale delta segment %s: %v", seg, err)
+	}
+	crc := crc32.ChecksumIEEE(data)
+	st.chain = chainState{
+		open:        true,
+		anchor:      s.Records,
+		anchorCRC:   crc,
+		lastCRC:     crc,
+		lastRecords: s.Records,
+		path:        seg,
+	}
+	st.lastSaveBytes = len(data)
 	st.prune()
 	if st.OnSave != nil {
-		st.OnSave(s)
+		st.OnSave(Saved{Records: s.Records, BadRecords: s.BadRecords, Full: true})
+	}
+	return nil
+}
+
+// AppendDelta appends one delta frame to the chain rooted at the most
+// recent full Save of this process. The common case costs one buffered
+// write to an already-open file — no temp file, rename, directory fsync,
+// prune, or even a per-frame sync — which is what makes tight checkpoint
+// intervals affordable.
+//
+// Frames are deliberately NOT individually durable. A chain is synced when
+// it is superseded by the next anchor full snapshot, on Close (graceful
+// shutdown), or whenever the OS writes back — so a kill -9 between anchors
+// may lose the unsynced frame suffix. That is safe by construction: each
+// frame embeds its parent's position and checksum, so recovery keeps the
+// longest valid prefix (at worst the bare anchor) and the pipeline replays
+// the difference, re-publishing byte-identical windows. In the daemon the
+// ingest WAL is truncated only up to the newest FULL snapshot, so every
+// record a lost frame summarized is still replayable. Durability lives in
+// anchors and the WAL; frames are a replay bound.
+func (st *Store) AppendDelta(d *Delta) error {
+	st.saves++
+	if st.crash(CrashBeforeWrite) {
+		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashBeforeWrite)
+	}
+	if !st.chain.open {
+		return fmt.Errorf("checkpoint: delta append without an anchor full snapshot")
+	}
+	if d == nil {
+		return fmt.Errorf("checkpoint: nil delta")
+	}
+	if d.ParentRecords != st.chain.lastRecords {
+		return fmt.Errorf("checkpoint: delta parent %d does not extend chain tip %d",
+			d.ParentRecords, st.chain.lastRecords)
+	}
+	payload, err := EncodeDelta(d, st.chain.lastCRC)
+	if err != nil {
+		return err
+	}
+	buf := st.frameBuf[:0]
+	created := st.chain.f == nil
+	if created {
+		buf = appendSegmentHeader(buf, st.chain.anchor, st.chain.anchorCRC)
+	}
+	frameStart := len(buf)
+	buf = appendDeltaFrame(buf, payload)
+	st.frameBuf = buf
+	if created {
+		f, err := os.OpenFile(st.chain.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint: creating %s: %w", st.chain.path, err)
+		}
+		st.chain.f = f
+	}
+	if st.crash(CrashTornDelta) {
+		// Simulated death mid-append: the header and half the frame reach
+		// the disk. Recovery must keep the frames before it.
+		torn := buf[:frameStart+(len(buf)-frameStart)/2]
+		st.chain.f.Write(torn)
+		datasync(st.chain.f)
+		st.closeChain()
+		return fmt.Errorf("%w: at %s", ErrInjectedCrash, CrashTornDelta)
+	}
+	if _, err := st.chain.f.Write(buf); err != nil {
+		return fmt.Errorf("checkpoint: appending to %s: %w", st.chain.path, err)
+	}
+	st.chain.dirty = true
+	if created {
+		syncDir(st.dir)
+	}
+	st.chain.lastCRC = binary.LittleEndian.Uint32(buf[frameStart+4:])
+	st.chain.lastRecords = d.Records
+	st.chain.frames++
+	st.lastSaveBytes = len(buf)
+	if st.OnSave != nil {
+		st.OnSave(Saved{Records: d.Records, BadRecords: d.BadRecords, Full: false})
+	}
+	return nil
+}
+
+// LastSaveBytes reports the bytes written by the most recent successful
+// Save or AppendDelta (metrics).
+func (st *Store) LastSaveBytes() int { return st.lastSaveBytes }
+
+// ChainFrames reports the delta frames appended to the current chain since
+// its anchor full snapshot (metrics; zero right after a full save).
+func (st *Store) ChainFrames() int { return st.chain.frames }
+
+// segmentPath returns the chain-segment path for the full snapshot at the
+// given record position.
+func (st *Store) segmentPath(records uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf(deltaFormat, records))
+}
+
+// closeChain flushes any unsynced frames, releases the open segment file
+// and forgets the chain; the next full Save starts a fresh one. The sync
+// here is what makes a graceful shutdown's chain tip durable — frame
+// appends themselves only buffer (see AppendDelta).
+func (st *Store) closeChain() error {
+	var err error
+	if st.chain.f != nil {
+		if st.chain.dirty {
+			err = datasync(st.chain.f)
+		}
+		if cerr := st.chain.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	st.chain = chainState{}
+	return err
+}
+
+// Close releases the open delta-segment file, if any, syncing its tail
+// first. The store remains usable; the next full Save anchors a fresh
+// chain.
+func (st *Store) Close() error { return st.closeChain() }
+
+// Wipe removes every generation and delta segment from the store directory
+// — the reset a fresh (non-resuming) stream create performs on an inherited
+// directory.
+func (st *Store) Wipe() error {
+	st.closeChain()
+	for _, glob := range []string{genGlob, deltaGlob} {
+		paths, err := filepath.Glob(filepath.Join(st.dir, glob))
+		if err != nil {
+			return fmt.Errorf("checkpoint: listing store: %w", err)
+		}
+		for _, p := range paths {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("checkpoint: wiping %s: %w", p, err)
+			}
+		}
 	}
 	return nil
 }
@@ -158,8 +355,10 @@ func AtomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// writeFileSync writes data and fsyncs before closing, so a rename never
-// publishes bytes the disk has not accepted.
+// writeFileSync writes data and syncs before closing, so a rename never
+// publishes bytes the disk has not accepted. Data-only sync suffices: the
+// file is still the unlinked temp name here, and the rename that makes it
+// reachable is made durable by the directory fsync that follows it.
 func writeFileSync(path string, data []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -169,7 +368,7 @@ func writeFileSync(path string, data []byte) error {
 		f.Close()
 		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := datasync(f); err != nil {
 		f.Close()
 		return fmt.Errorf("checkpoint: syncing %s: %w", path, err)
 	}
@@ -200,7 +399,9 @@ func (st *Store) Generations() ([]string, error) {
 	return paths, nil
 }
 
-// prune removes the oldest generations beyond the retention limit.
+// prune removes the oldest full generations beyond the retention limit,
+// each with its chain segment, then sweeps orphan segments — a chain whose
+// anchor full snapshot is gone can never be applied.
 func (st *Store) prune() {
 	gens, err := st.Generations()
 	if err != nil {
@@ -212,8 +413,51 @@ func (st *Store) prune() {
 			st.logf("checkpoint: pruning %s: %v", gens[0], err)
 			return
 		}
+		if rec, ok := genRecords(gens[0], "ckpt-", ".bfck"); ok {
+			if err := os.Remove(st.segmentPath(rec)); err != nil && !os.IsNotExist(err) {
+				st.logf("checkpoint: pruning delta segment for %s: %v", gens[0], err)
+			}
+		}
 		gens = gens[1:]
 	}
+	keep := make(map[uint64]bool, len(gens))
+	for _, g := range gens {
+		if rec, ok := genRecords(g, "ckpt-", ".bfck"); ok {
+			keep[rec] = true
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(st.dir, deltaGlob))
+	if err != nil {
+		st.logf("checkpoint: listing delta segments: %v", err)
+		return
+	}
+	for _, seg := range segs {
+		rec, ok := genRecords(seg, "delta-", ".bfdl")
+		if !ok || keep[rec] {
+			continue
+		}
+		if err := os.Remove(seg); err != nil && !os.IsNotExist(err) {
+			st.logf("checkpoint: sweeping orphan delta segment %s: %v", seg, err)
+		}
+	}
+}
+
+// genRecords extracts the record position encoded in a generation or
+// segment file name.
+func genRecords(path, prefix, suffix string) (uint64, bool) {
+	base := filepath.Base(path)
+	if len(base) <= len(prefix)+len(suffix) ||
+		base[:len(prefix)] != prefix || base[len(base)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var rec uint64
+	for _, c := range base[len(prefix) : len(base)-len(suffix)] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		rec = rec*10 + uint64(c-'0')
+	}
+	return rec, true
 }
 
 // Load reads and validates one generation file.
@@ -229,24 +473,67 @@ func Load(path string) (*Snapshot, error) {
 	return s, nil
 }
 
-// Latest returns the newest decodable snapshot and its path. Corrupt,
-// torn or future-version generations are skipped with a logged warning —
-// the previous-generation fallback that bounds the damage of a crash
-// mid-write to one checkpoint interval of progress. A store with no usable
-// snapshot returns (nil, "", nil); only an unreadable directory is an
-// error.
+// ChainDetail describes where a recovered snapshot came from: the anchor
+// full generation, its stream position, and how many delta frames extended
+// it. External truncation horizons (the server's WAL floor) must use the
+// ANCHOR position, not the recovered snapshot's — replaying the chain again
+// after another crash needs the anchor intact, and re-building lost delta
+// progress needs the records after it.
+type ChainDetail struct {
+	// Path is the anchor full-snapshot generation file.
+	Path string
+	// AnchorRecords and AnchorBadRecords are the anchor's stream counters.
+	AnchorRecords    uint64
+	AnchorBadRecords uint64
+	// Frames is how many delta frames were applied on top of the anchor.
+	Frames int
+}
+
+// Latest returns the newest recoverable snapshot and the path of its anchor
+// generation. See LatestDetail.
 func (st *Store) Latest() (*Snapshot, string, error) {
+	s, det, err := st.LatestDetail()
+	return s, det.Path, err
+}
+
+// LatestDetail returns the newest recoverable snapshot: the newest decodable
+// full generation, extended by the longest valid frame prefix of its delta
+// chain. Corrupt, torn or future-version fulls are skipped with a logged
+// warning; chain damage degrades to the frames before it (or the bare
+// anchor) — the fallbacks that bound the damage of a crash mid-write to one
+// checkpoint interval of progress. A store with no usable snapshot returns
+// (nil, ChainDetail{}, nil); only an unreadable directory is an error.
+func (st *Store) LatestDetail() (*Snapshot, ChainDetail, error) {
 	gens, err := st.Generations()
 	if err != nil {
-		return nil, "", err
+		return nil, ChainDetail{}, err
 	}
 	for i := len(gens) - 1; i >= 0; i-- {
-		s, err := Load(gens[i])
+		data, err := os.ReadFile(gens[i])
+		if err != nil {
+			st.logf("checkpoint: skipping unreadable generation %s: %v", gens[i], err)
+			continue
+		}
+		s, err := Decode(data)
 		if err != nil {
 			st.logf("checkpoint: skipping unusable generation %s: %v", gens[i], err)
 			continue
 		}
-		return s, gens[i], nil
+		det := ChainDetail{
+			Path:             gens[i],
+			AnchorRecords:    s.Records,
+			AnchorBadRecords: s.BadRecords,
+		}
+		segPath := st.segmentPath(s.Records)
+		if seg, err := os.ReadFile(segPath); err == nil {
+			det.Frames = ApplyChain(s, seg, det.AnchorRecords, crc32.ChecksumIEEE(data),
+				func(format string, args ...any) {
+					st.logf("checkpoint: delta chain %s: "+format, append([]any{segPath}, args...)...)
+				})
+		} else if !os.IsNotExist(err) {
+			st.logf("checkpoint: reading delta segment %s: %v", segPath, err)
+		}
+		return s, det, nil
 	}
-	return nil, "", nil
+	return nil, ChainDetail{}, nil
 }

@@ -1,0 +1,17 @@
+//go:build linux
+
+package checkpoint
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes a file's data and retrieval-critical metadata (its size)
+// without forcing a timestamp journal commit. Recovery only ever needs the
+// bytes and the length — frames past the durable tip are discarded by CRC
+// anyway — so fdatasync gives the same crash guarantee as fsync at a
+// measurably lower cost on the append-heavy delta-chain hot path.
+func datasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

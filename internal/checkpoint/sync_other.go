@@ -1,0 +1,11 @@
+//go:build !linux
+
+package checkpoint
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync is not available
+// (or not distinguishable) — strictly stronger, never weaker.
+func datasync(f *os.File) error {
+	return f.Sync()
+}

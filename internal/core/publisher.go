@@ -116,6 +116,16 @@ type Publisher struct {
 	lastBiases []int
 	biasReuses int
 
+	// Delta-snapshot tracking (SetDeltaTracking): when deltaTrack is on,
+	// every cache mutation appends the entry to dirtyCache exactly once per
+	// baseline interval, and the age sweep records removed keys in
+	// evictedKeys, so SnapshotDelta can serialize only what changed —
+	// O(changed), not O(cache). Off by default; the only cost when off is one
+	// predictable branch per cache write.
+	deltaTrack  bool
+	dirtyCache  []*cacheEntry
+	evictedKeys []string
+
 	// workers selects the perturbation path: <= 1 runs the historical
 	// sequential draw order, >= 2 the chunked parallel order (see SetWorkers).
 	workers int
@@ -151,9 +161,16 @@ type ladderRung struct {
 }
 
 type cacheEntry struct {
+	// key is the entry's own cache key (itemset.Itemset.Key()). It is stored
+	// on the entry so delta tracking can emit upserts straight from the dirty
+	// list without re-deriving keys from the map.
+	key         string
 	trueSupport int
 	sanitized   int
 	lastSeen    int
+	// dirty marks the entry as touched since the last snapshot baseline; it
+	// is meaningful only while delta tracking is on (SetDeltaTracking).
+	dirty bool
 }
 
 // NewPublisher validates the parameters and returns a Publisher using the
@@ -302,12 +319,17 @@ func (pub *Publisher) perturbSequential(out *Output, classes []fec.Class, biases
 				e.trueSupport = class.Support
 				e.sanitized = sanitized
 				e.lastSeen = pub.window
+				pub.markDirty(e)
 			} else {
-				pub.cache[string(keyBuf)] = &cacheEntry{
+				k := string(keyBuf)
+				e = &cacheEntry{
+					key:         k,
 					trueSupport: class.Support,
 					sanitized:   sanitized,
 					lastSeen:    pub.window,
 				}
+				pub.cache[k] = e
+				pub.markDirty(e)
 			}
 			out.Items = append(out.Items, PublishedItemset{Set: member, Support: sanitized})
 		}
@@ -455,12 +477,17 @@ func (pub *Publisher) perturbChunked(out *Output, classes []fec.Class, biases []
 				e.trueSupport = it.trueSupport
 				e.sanitized = it.sanitized
 				e.lastSeen = pub.window
+				pub.markDirty(e)
 			} else {
-				pub.cache[string(keyBuf)] = &cacheEntry{
+				k := string(keyBuf)
+				e = &cacheEntry{
+					key:         k,
 					trueSupport: it.trueSupport,
 					sanitized:   it.sanitized,
 					lastSeen:    pub.window,
 				}
+				pub.cache[k] = e
+				pub.markDirty(e)
 			}
 			out.Items = append(out.Items, PublishedItemset{Set: it.set, Support: it.sanitized})
 		}
@@ -561,7 +588,21 @@ func (pub *Publisher) sweepCache() {
 	for k, e := range pub.cache {
 		if pub.window-e.lastSeen > pub.maxCacheAge {
 			delete(pub.cache, k)
+			if pub.deltaTrack {
+				pub.evictedKeys = append(pub.evictedKeys, k)
+			}
 		}
+	}
+}
+
+// markDirty records e in the dirty list the first time it is touched inside
+// the current baseline interval. A cache hit that merely refreshes lastSeen
+// still counts: lastSeen drives future age-sweep evictions, which influence
+// published bytes, so it must travel in the delta.
+func (pub *Publisher) markDirty(e *cacheEntry) {
+	if pub.deltaTrack && !e.dirty {
+		e.dirty = true
+		pub.dirtyCache = append(pub.dirtyCache, e)
 	}
 }
 

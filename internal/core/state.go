@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/itemset"
@@ -55,8 +56,97 @@ type PublisherState struct {
 	Cache []CacheEntry
 }
 
+// PublisherDelta is the publisher-side payload of an incremental (delta)
+// checkpoint: everything that changed since the previous snapshot baseline.
+// The window counter, RNG cursor and bias memo are tiny and change every
+// window, so they travel whole; the republication cache — the bulk of a full
+// snapshot — travels as upserts and evictions only. Applying a delta to the
+// baseline state (evictions first, then upserts) reproduces the full state a
+// Snapshot at the same moment would have captured.
+type PublisherDelta struct {
+	// Window, RNG and BiasReuses are absolute values, not differences.
+	Window     int
+	RNG        uint64
+	BiasReuses int
+	// Ladder and Biases are the complete incremental-bias memo (small, and
+	// usually changed): both empty or both of equal length.
+	Ladder []LadderRung
+	Biases []int
+	// Upserts are the cache entries created or refreshed since the baseline,
+	// sorted by Key; Evicted are the keys the age sweep removed since then,
+	// sorted and deduplicated. A key may appear in both (evicted, then
+	// re-published); eviction-before-upsert ordering makes that correct.
+	Upserts []CacheEntry
+	Evicted []string
+}
+
+// SetDeltaTracking turns dirty-entry tracking on or off and resets the
+// baseline either way. With tracking on, every Snapshot or SnapshotDelta
+// call starts a new baseline interval; SnapshotDelta then captures exactly
+// the cache traffic of the interval. The checkpoint layer enables tracking
+// only when delta checkpointing is configured, so the default publisher pays
+// nothing for it.
+func (pub *Publisher) SetDeltaTracking(on bool) {
+	pub.deltaTrack = on
+	pub.resetDeltaBaseline()
+}
+
+// resetDeltaBaseline clears the dirty flags and drops the accumulated
+// upsert/eviction lists, starting a fresh interval.
+func (pub *Publisher) resetDeltaBaseline() {
+	for _, e := range pub.dirtyCache {
+		e.dirty = false
+	}
+	pub.dirtyCache = pub.dirtyCache[:0]
+	pub.evictedKeys = pub.evictedKeys[:0]
+}
+
+// SnapshotDelta captures the change set since the previous baseline and
+// starts a new one. It shares nothing with the publisher. It must only be
+// called with delta tracking on and with an earlier Snapshot (or restored
+// state) as the baseline; the checkpoint layer enforces that pairing by
+// construction (a chain always starts with a full snapshot).
+func (pub *Publisher) SnapshotDelta() *PublisherDelta {
+	d := &PublisherDelta{
+		Window:     pub.window,
+		RNG:        pub.src.State(),
+		BiasReuses: pub.biasReuses,
+	}
+	if pub.lastBiases != nil {
+		d.Ladder = make([]LadderRung, len(pub.lastLadder))
+		for i, r := range pub.lastLadder {
+			d.Ladder[i] = LadderRung{Support: r.support, Size: r.size}
+		}
+		d.Biases = append([]int(nil), pub.lastBiases...)
+	}
+	d.Upserts = make([]CacheEntry, 0, len(pub.dirtyCache))
+	for _, e := range pub.dirtyCache {
+		if pub.cache[e.key] != e {
+			// Evicted since it was marked (possibly replaced by a fresh
+			// entry, which carries its own dirty mark). The eviction itself
+			// is in Evicted; serializing the dead entry would resurrect it.
+			continue
+		}
+		d.Upserts = append(d.Upserts, CacheEntry{
+			Key:         e.key,
+			TrueSupport: e.trueSupport,
+			Sanitized:   e.sanitized,
+			LastSeen:    e.lastSeen,
+		})
+	}
+	sort.Slice(d.Upserts, func(i, j int) bool { return d.Upserts[i].Key < d.Upserts[j].Key })
+	d.Evicted = append([]string(nil), pub.evictedKeys...)
+	sort.Strings(d.Evicted)
+	d.Evicted = slices.Compact(d.Evicted)
+	pub.resetDeltaBaseline()
+	return d
+}
+
 // Snapshot captures the publisher's state. The returned value shares
 // nothing with the publisher; mutating one never disturbs the other.
+// With delta tracking on it also resets the change-set baseline: every
+// snapshot of either kind is a chain link, and the next SnapshotDelta is
+// relative to the most recent one.
 func (pub *Publisher) Snapshot() *PublisherState {
 	st := &PublisherState{
 		Window:     pub.window,
@@ -80,6 +170,9 @@ func (pub *Publisher) Snapshot() *PublisherState {
 		})
 	}
 	sort.Slice(st.Cache, func(i, j int) bool { return st.Cache[i].Key < st.Cache[j].Key })
+	if pub.deltaTrack {
+		pub.resetDeltaBaseline()
+	}
 	return st
 }
 
@@ -113,11 +206,13 @@ func (pub *Publisher) Restore(st *PublisherState) error {
 	pub.cache = make(map[string]*cacheEntry, len(st.Cache))
 	for _, e := range st.Cache {
 		pub.cache[e.Key] = &cacheEntry{
+			key:         e.Key,
 			trueSupport: e.TrueSupport,
 			sanitized:   e.Sanitized,
 			lastSeen:    e.LastSeen,
 		}
 	}
+	pub.resetDeltaBaseline()
 	return nil
 }
 

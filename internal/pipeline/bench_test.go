@@ -3,6 +3,7 @@ package pipeline_test
 import (
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/itemset"
 	"repro/internal/pipeline"
 )
@@ -47,3 +48,34 @@ func BenchmarkRunStaged8(b *testing.B) {
 	records := testRecords(b, 1600)
 	benchRun(b, 8, records)
 }
+
+func benchCheckpointed(b *testing.B, fullEvery int) {
+	b.Helper()
+	records := testRecords(b, 1600)
+	store, err := checkpoint.NewStore(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig(2)
+	cfg.CheckpointDir = store.Dir()
+	cfg.CheckpointEvery = 1
+	cfg.CheckpointFullEvery = fullEvery
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pipeline.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Run(records, func(pipeline.Window) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCheckpointed measures the durability tax at its steepest:
+// a full snapshot fsynced after every published window.
+func BenchmarkRunCheckpointed(b *testing.B) { benchCheckpointed(b, 1) }
+
+// BenchmarkRunDeltaCheckpointed measures the same interval with delta
+// chains: one anchor full then CRC-framed delta appends (DESIGN.md §2.15).
+func BenchmarkRunDeltaCheckpointed(b *testing.B) { benchCheckpointed(b, 16) }

@@ -23,6 +23,9 @@ const (
 	MetricWatchdogTrips = "butterfly_watchdog_trips_total"
 	MetricCheckpoints   = "butterfly_checkpoints_total"
 	MetricCkptSave      = "butterfly_checkpoint_save_seconds"
+	MetricCkptKindSaves = "butterfly_checkpoint_delta_saves_total"
+	MetricCkptChain     = "butterfly_checkpoint_delta_chain_frames"
+	MetricCkptBytes     = "butterfly_checkpoint_delta_bytes"
 	MetricResumeSeconds = "butterfly_resume_seconds"
 	MetricStageSeconds  = "butterfly_stage_seconds"
 	MetricWindowSets    = "butterfly_window_itemsets"
@@ -50,10 +53,16 @@ type pipeMetrics struct {
 	watchdogTrips *telemetry.Counter
 	checkpoints   *telemetry.Counter
 
+	fullSaves   *telemetry.Counter
+	deltaSaves  *telemetry.Counter
+	chainFrames *telemetry.Gauge
+
 	mineDur    *telemetry.Histogram
 	perturbDur *telemetry.Histogram
 	emitDur    *telemetry.Histogram
 	ckptSave   *telemetry.Histogram
+	fullBytes  *telemetry.Histogram
+	deltaBytes *telemetry.Histogram
 	resumeDur  *telemetry.Gauge
 	windowSets *telemetry.Gauge
 }
@@ -89,11 +98,25 @@ func newPipeMetrics(reg *telemetry.Registry) *pipeMetrics {
 			"Per-window watchdog expirations (each fails the run).", nil),
 		checkpoints: reg.Counter(MetricCheckpoints,
 			"Crash-safe snapshots written.", nil),
+		fullSaves: reg.Counter(MetricCkptKindSaves,
+			"Checkpoint generations persisted, by kind (full snapshot vs delta frame).",
+			telemetry.Labels{"kind": "full"}),
+		deltaSaves: reg.Counter(MetricCkptKindSaves,
+			"Checkpoint generations persisted, by kind (full snapshot vs delta frame).",
+			telemetry.Labels{"kind": "delta"}),
+		chainFrames: reg.Gauge(MetricCkptChain,
+			"Delta frames in the current chain since its anchor full snapshot (0 right after a full save).", nil),
 		mineDur:    stage("mine"),
 		perturbDur: stage("perturb"),
 		emitDur:    stage("emit"),
 		ckptSave: reg.Histogram(MetricCkptSave,
 			"Checkpoint save latency (encode + fsync + rename + prune).", nil, nil),
+		fullBytes: reg.Histogram(MetricCkptBytes,
+			"Bytes written per persisted checkpoint generation, by kind.",
+			ckptByteBuckets, telemetry.Labels{"kind": "full"}),
+		deltaBytes: reg.Histogram(MetricCkptBytes,
+			"Bytes written per persisted checkpoint generation, by kind.",
+			ckptByteBuckets, telemetry.Labels{"kind": "delta"}),
 		resumeDur: reg.Gauge(MetricResumeSeconds,
 			"Wall time of the last checkpoint restore, including source fast-forward.", nil),
 		windowSets: reg.Gauge(MetricWindowSets,
@@ -143,11 +166,32 @@ func (m *pipeMetrics) addWatchdogTrip() {
 	}
 }
 
+// ckptByteBuckets sizes the per-save byte histogram: deltas land in the
+// hundreds-of-bytes buckets, full snapshots in the tens-of-KiB ones, so the
+// split is visible at a glance.
+var ckptByteBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
 func (m *pipeMetrics) addCheckpoint(took time.Duration) {
 	if m != nil {
 		m.checkpoints.Inc()
 		m.ckptSave.Observe(took.Seconds())
 	}
+}
+
+// addCheckpointSave records a persisted generation's kind, size and the
+// resulting chain length.
+func (m *pipeMetrics) addCheckpointSave(full bool, bytes, chainFrames int) {
+	if m == nil {
+		return
+	}
+	if full {
+		m.fullSaves.Inc()
+		m.fullBytes.Observe(float64(bytes))
+	} else {
+		m.deltaSaves.Inc()
+		m.deltaBytes.Observe(float64(bytes))
+	}
+	m.chainFrames.Set(float64(chainFrames))
 }
 
 func (m *pipeMetrics) observeStage(h func(*pipeMetrics) *telemetry.Histogram, took time.Duration) {

@@ -109,9 +109,22 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in published windows; 0
 	// with a CheckpointDir means every window. Negative is rejected.
 	CheckpointEvery int
-	// CheckpointKeep is how many snapshot generations to retain
-	// (checkpoint.DefaultKeep when 0).
+	// CheckpointKeep is how many full-snapshot generations to retain
+	// (checkpoint.DefaultKeep when 0); each full's delta-chain segment is
+	// retained and pruned with it.
 	CheckpointKeep int
+	// CheckpointFullEvery is the full-snapshot compaction interval: of every
+	// CheckpointFullEvery checkpoint generations, the first is a full
+	// snapshot and the rest are delta frames appended to its chain
+	// (checkpoint format v2) — each frame costing one fsync of an open file
+	// instead of the full temp+fsync+rename+fsync protocol, and serializing
+	// only the state that changed since the previous generation. <= 1 makes
+	// every generation a full snapshot (the historical v1 behavior, and the
+	// default). The first generation of every run is always full, so a chain
+	// never crosses a process restart. Recovery is unchanged for callers:
+	// Store.Latest() returns the newest full extended by its chain's valid
+	// frame prefix, and resume remains byte-identical.
+	CheckpointFullEvery int
 	// Checkpoints overrides CheckpointDir with a pre-built store — the
 	// hook tests use to install crash plans; CLI callers use CheckpointDir.
 	Checkpoints *checkpoint.Store
@@ -206,12 +219,17 @@ type Window struct {
 	// Output is the sanitized (or raw, in audit mode) mining output.
 	Output *core.Output
 
-	// ckpt, when non-nil, is the snapshot to persist once this window has
-	// been delivered. It is assembled as the window flows through the
+	// ckpt, when non-nil, is the full snapshot to persist once this window
+	// has been delivered. It is assembled as the window flows through the
 	// stages — the mine stage contributes position and window buffer, the
 	// perturb stage the publisher state — so the saved snapshot is a
 	// consistent cut without ever stalling the pipeline on a barrier.
 	ckpt *checkpoint.Snapshot
+	// delta, when non-nil, is the incremental generation to append instead
+	// (CheckpointFullEvery > 1): the same consistent cut, carrying only the
+	// change set since the previous generation. At most one of ckpt/delta
+	// is set.
+	delta *checkpoint.Delta
 	// tr is the window's flight-recorder trace, threaded through the
 	// stages alongside the data and committed by the emit stage (nil when
 	// tracing is off). Like ckpt, it rides the channel hand-off, so each
@@ -251,6 +269,9 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.CheckpointKeep < 0 {
 		return nil, fmt.Errorf("pipeline: negative checkpoint retention %d", cfg.CheckpointKeep)
+	}
+	if cfg.CheckpointFullEvery < 0 {
+		return nil, fmt.Errorf("pipeline: negative full-snapshot interval %d", cfg.CheckpointFullEvery)
 	}
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" && cfg.Checkpoints == nil {
 		return nil, fmt.Errorf("pipeline: checkpoint interval %d without a checkpoint directory", cfg.CheckpointEvery)
@@ -308,9 +329,11 @@ func (e *shortStreamError) Is(target error) bool { return target == ErrShortStre
 type minedWindow struct {
 	position int
 	res      *mining.Result
-	// ckpt is the partially-filled snapshot when a checkpoint is due after
-	// this window (see Window.ckpt).
-	ckpt *checkpoint.Snapshot
+	// ckpt is the partially-filled full snapshot when one is due after this
+	// window (see Window.ckpt); delta is its incremental counterpart (see
+	// Window.delta). At most one is set.
+	ckpt  *checkpoint.Snapshot
+	delta *checkpoint.Delta
 	// tr is the window's flight-recorder trace (see Window.tr).
 	tr *trace.Window
 }
@@ -362,10 +385,18 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 		// A store built here would otherwise swallow its corruption-fallback
 		// and prune warnings; hand them to the caller's logger.
 		run.ckpts.Logf = p.cfg.Warnf
+		// The store is ours: release the open delta-chain segment descriptor
+		// when the run ends. (A caller-provided store stays the caller's to
+		// close.)
+		defer run.ckpts.Close()
 	}
 	run.ckptEvery = p.cfg.CheckpointEvery
 	if run.ckptEvery <= 0 {
 		run.ckptEvery = 1
+	}
+	run.fullEvery = p.cfg.CheckpointFullEvery
+	if run.fullEvery < 1 {
+		run.fullEvery = 1
 	}
 	if rs := p.cfg.Resume; rs != nil {
 		// Restore before any stage starts: rebuild the miner from the
@@ -383,6 +414,13 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 			return nil, err
 		}
 		run.resume = rs
+	}
+	if run.ckpts != nil && run.fullEvery > 1 {
+		// Delta generations serialize only the cache entries touched since
+		// the previous generation; the publisher tracks them as it goes, and
+		// the mine stage tracks the records appended to the window.
+		stream.Publisher().SetDeltaTracking(true)
+		run.trackAppend = true
 	}
 	buffer := p.cfg.Buffer
 	if buffer == 0 {
@@ -484,6 +522,9 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 			continue
 		}
 		stream.Push(rec)
+		if r.trackAppend {
+			r.pushAppended(rec)
+		}
 		if !stream.Ready() {
 			continue
 		}
@@ -539,6 +580,13 @@ func (r *runState) mineLoop(stream *core.Stream, src RecordSource, mined chan<- 
 // checkpoint when one is due: every ckptEvery-th publication, and always
 // the final one. The window buffer is copied here, in the only stage that
 // owns the miner.
+//
+// The full/delta schedule also lives here: the first generation of a run is
+// always a full snapshot (a chain never crosses a restart), then every
+// fullEvery-th is full and the rest are delta frames chained off it. A delta
+// carries the records appended since the previous generation instead of the
+// whole window buffer — when more than a window's worth arrived, only the
+// last WindowSize survive, because the earlier ones have already slid out.
 func (r *runState) newMined(stream *core.Stream, pos int, published uint64, final bool) minedWindow {
 	// Snapshot into a recycled buffer from the freelist when one is ready
 	// (see runState.results); identical content either way.
@@ -556,14 +604,43 @@ func (r *runState) newMined(stream *core.Stream, pos int, published uint64, fina
 	if !final && published%uint64(r.ckptEvery) != 0 {
 		return m
 	}
-	m.ckpt = &checkpoint.Snapshot{
-		Meta:       r.cfg.fingerprint(),
-		Records:    uint64(pos),
-		BadRecords: uint64(r.badCount()),
-		Published:  published,
-		Window:     stream.WindowRecords(),
+	r.ckptSeq++
+	if r.fullEvery <= 1 || (r.ckptSeq-1)%uint64(r.fullEvery) == 0 {
+		m.ckpt = &checkpoint.Snapshot{
+			Meta:       r.cfg.fingerprint(),
+			Records:    uint64(pos),
+			BadRecords: uint64(r.badCount()),
+			Published:  published,
+			Window:     stream.WindowRecords(),
+		}
+	} else {
+		app := r.appended
+		if len(app) > r.cfg.WindowSize {
+			app = app[len(app)-r.cfg.WindowSize:]
+		}
+		m.delta = &checkpoint.Delta{
+			ParentRecords: r.lastCkptRecords,
+			Records:       uint64(pos),
+			BadRecords:    uint64(r.badCount()),
+			Published:     published,
+			Appended:      append([]itemset.Itemset(nil), app...),
+		}
 	}
+	r.lastCkptRecords = uint64(pos)
+	r.appended = r.appended[:0]
 	return m
+}
+
+// pushAppended records one window-bound record for the next delta
+// generation. The buffer compacts to the last WindowSize records once it
+// doubles — anything older has slid out of the window, so no delta will
+// ever serialize it.
+func (r *runState) pushAppended(rec itemset.Itemset) {
+	if w := r.cfg.WindowSize; len(r.appended) >= 2*w {
+		n := copy(r.appended, r.appended[len(r.appended)-w:])
+		r.appended = r.appended[:n]
+	}
+	r.appended = append(r.appended, rec)
 }
 
 // nextRecord pulls one record from the source under supervision: recovered
@@ -662,8 +739,14 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			// Capture the publisher immediately after this window's
 			// perturbation — the consistent cut the checkpoint needs. In raw
 			// mode the publisher is untouched and the snapshot simply
-			// records its initial state.
+			// records its initial state. (With delta tracking on, this also
+			// resets the change-set baseline: the next delta is relative to
+			// this cut.)
 			m.ckpt.Publisher = *stream.Publisher().Snapshot()
+		} else if m.delta != nil {
+			// The incremental counterpart: drain the cache entries touched
+			// since the previous generation — O(changed), not O(cache).
+			m.delta.Publisher = *stream.Publisher().SnapshotDelta()
 		}
 		// The sanitized output is assembled; nothing downstream references
 		// the mining snapshot, so its buffer flows back to the mine stage.
@@ -673,7 +756,7 @@ func (r *runState) perturbLoop(stream *core.Stream, cfg Config, mined <-chan min
 			default:
 			}
 		}
-		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt, tr: m.tr}) {
+		if !sendOrDone(r, outs, Window{Position: m.position, Output: out, ckpt: m.ckpt, delta: m.delta, tr: m.tr}) {
 			return
 		}
 	}
@@ -708,12 +791,18 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 		}
 		r.addPublished()
 		r.metrics.addWindow(w.Output.Len())
-		if w.ckpt != nil {
+		if w.ckpt != nil || w.delta != nil {
 			// Persist only after the window is delivered: a crash between
 			// emit and save merely re-emits from the previous generation,
 			// and the republication cache re-serves identical values.
+			full := w.ckpt != nil
 			c0 := time.Now()
-			saveErr := r.ckpts.Save(w.ckpt)
+			var saveErr error
+			if full {
+				saveErr = r.ckpts.Save(w.ckpt)
+			} else {
+				saveErr = r.ckpts.AppendDelta(w.delta)
+			}
 			saveDur := time.Since(c0)
 			w.tr.Add(trace.KindCheckpointSave, c0, saveDur)
 			if saveErr != nil {
@@ -723,6 +812,7 @@ func (r *runState) emitLoop(outs <-chan Window, emit func(Window) error) {
 			}
 			r.addCheckpoint()
 			r.metrics.addCheckpoint(saveDur)
+			r.metrics.addCheckpointSave(full, r.ckpts.LastSaveBytes(), r.ckpts.ChainFrames())
 		}
 		// The window is fully delivered (and checkpointed when due): commit
 		// its trace to the ring so snapshots and exemplars see it.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/trace"
 )
@@ -107,6 +108,18 @@ type runState struct {
 	ckpts     *checkpoint.Store
 	ckptEvery int
 	resume    *checkpoint.Snapshot
+
+	// Delta-checkpoint scheduling (mine stage only, single-goroutine):
+	// fullEvery is the compaction interval (1 = every generation full),
+	// ckptSeq counts generations this run has scheduled, lastCkptRecords is
+	// the previous generation's cut (the next delta's parent), and appended
+	// buffers the records pushed into the window since then when
+	// trackAppend is on.
+	fullEvery       int
+	ckptSeq         uint64
+	lastCkptRecords uint64
+	trackAppend     bool
+	appended        []itemset.Itemset
 
 	// Observability: the registered instrument set (nil without a
 	// Config.Metrics registry; every recording method is nil-safe), the

@@ -195,7 +195,7 @@ func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
 			"outcome", walRep.Outcome, "frames", walRep.Frames,
 			"dropped_bytes", walRep.DroppedBytes, "dropped_segments", walRep.DroppedSegments)
 	}
-	snap, _, err := st.store.Latest()
+	snap, det, err := st.store.LatestDetail()
 	if err != nil {
 		park(StateQuarantined, fmt.Sprintf("loading checkpoint: %v", err), true)
 		return
@@ -226,7 +226,10 @@ func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
 	st.lines, st.seq = lines, seq
 	st.badSeen = lines - seq
 	st.walBase = lines
-	st.prevCkptLine = ckptLine
+	// The truncation horizon re-arms at the ANCHOR full snapshot's line,
+	// not the delta-chain tip: the next full save truncates up to here, and
+	// the chain the resume came from must stay replayable until then.
+	st.prevCkptLine = det.AnchorRecords + det.AnchorBadRecords
 
 	vcfg := st.pipeCfg
 	vcfg.Checkpoints = st.store

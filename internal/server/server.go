@@ -93,6 +93,11 @@ type Options struct {
 	// 65536). A stream that outruns it between checkpoints loses in-process
 	// restartability and quarantines on its next failure.
 	ReplayLimit int
+	// CheckpointFullEvery is the default full-snapshot compaction interval
+	// for streams that leave checkpoint_full_every unset: every Nth
+	// checkpoint generation is a full snapshot, the generations between are
+	// delta frames. Default 1 — every generation full, the v1 behavior.
+	CheckpointFullEvery int
 	// Shards is the registry shard count (default 16).
 	Shards int
 	// DrainTimeout is the default graceful-drain deadline used by callers
@@ -142,6 +147,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.ReplayLimit <= 0 {
 		o.ReplayLimit = 65536
+	}
+	if o.CheckpointFullEvery <= 0 {
+		o.CheckpointFullEvery = 1
 	}
 	if o.Shards <= 0 {
 		o.Shards = 16
@@ -279,7 +287,12 @@ type StreamConfig struct {
 	History         int `json:"history"`
 	CheckpointEvery int `json:"checkpoint_every"`
 	CheckpointKeep  int `json:"checkpoint_keep"`
-	TraceWindows    int `json:"trace_windows"`
+	// CheckpointFullEvery is the full-snapshot compaction interval: every
+	// Nth checkpoint generation is a full snapshot, the generations between
+	// are delta frames (pipeline.Config.CheckpointFullEvery). 0 takes the
+	// server-wide default; 1 makes every generation full (the v1 behavior).
+	CheckpointFullEvery int `json:"checkpoint_full_every"`
+	TraceWindows        int `json:"trace_windows"`
 	// Resume restores the stream from its newest checkpoint. The client
 	// must then replay the stream's records from the beginning — the
 	// pipeline discards the already-published prefix and continues
@@ -361,6 +374,9 @@ func (s *Server) Create(cfg StreamConfig) (StreamStatus, error) {
 	}
 	if cfg.History == 0 {
 		cfg.History = s.opts.History
+	}
+	if cfg.CheckpointFullEvery == 0 {
+		cfg.CheckpointFullEvery = s.opts.CheckpointFullEvery
 	}
 	scheme, err := core.SchemeByName(cfg.Scheme, cfg.Lambda, cfg.Gamma)
 	if err != nil {
@@ -519,19 +535,20 @@ func (s *Server) buildStream(cfg StreamConfig, scheme core.Scheme) (*stream, fun
 			Epsilon: cfg.Epsilon, Delta: cfg.Delta,
 			MinSupport: cfg.MinSupport, VulnSupport: cfg.VulnSupport,
 		},
-		Scheme:          scheme,
-		Seed:            cfg.Seed,
-		ClosedOnly:      cfg.ClosedOnly,
-		Raw:             cfg.Raw,
-		PublishEvery:    cfg.PublishEvery,
-		Workers:         cfg.Workers,
-		MaxBadRecords:   cfg.MaxBadRecords,
-		EmitRetries:     cfg.EmitRetries,
-		CheckpointEvery: cfg.CheckpointEvery,
-		CheckpointKeep:  cfg.CheckpointKeep,
-		Metrics:         s.opts.Registry,
-		Warnf:           warnf,
-		Trace:           st.tracer,
+		Scheme:              scheme,
+		Seed:                cfg.Seed,
+		ClosedOnly:          cfg.ClosedOnly,
+		Raw:                 cfg.Raw,
+		PublishEvery:        cfg.PublishEvery,
+		Workers:             cfg.Workers,
+		MaxBadRecords:       cfg.MaxBadRecords,
+		EmitRetries:         cfg.EmitRetries,
+		CheckpointEvery:     cfg.CheckpointEvery,
+		CheckpointKeep:      cfg.CheckpointKeep,
+		CheckpointFullEvery: cfg.CheckpointFullEvery,
+		Metrics:             s.opts.Registry,
+		Warnf:               warnf,
+		Trace:               st.tracer,
 	}
 	return st, warnf
 }
@@ -556,19 +573,11 @@ func wipeDurableLog(dir string) error {
 	return nil
 }
 
-// wipeCheckpoints removes every generation a fresh (non-resume) create
-// would otherwise silently inherit from a predecessor of the same id.
+// wipeCheckpoints removes every generation — full snapshots and delta
+// segments — a fresh (non-resume) create would otherwise silently inherit
+// from a predecessor of the same id.
 func wipeCheckpoints(store *checkpoint.Store) error {
-	gens, err := store.Generations()
-	if err != nil {
-		return err
-	}
-	for _, p := range gens {
-		if err := os.Remove(p); err != nil {
-			return err
-		}
-	}
-	return nil
+	return store.Wipe()
 }
 
 // gcStream reclaims a stream's durable footprint once it can never run

@@ -677,31 +677,42 @@ func (st *stream) noteReplayed(it queueItem) {
 	}
 }
 
-// onCheckpointSave runs on every checkpoint save (wired to
+// onCheckpointSave runs on every persisted checkpoint generation (wired to
 // checkpoint.Store.OnSave): it advances the checkpoint watermarks, prunes
 // WAL segments in durable mode, and prunes the retained replay buffer in
 // memory-only mode.
 //
-// The WAL truncation lags one checkpoint on purpose: restart loads the
-// newest READABLE snapshot, and if the newest file is lost to bit rot the
-// fallback generation still needs its WAL tail. The lag costs at most one
-// checkpoint interval of extra segments.
-func (st *stream) onCheckpointSave(s *checkpoint.Snapshot) {
+// Only FULL snapshots move the WAL truncation floor. A delta frame is
+// recoverable only by replaying its whole chain from the anchor full, so
+// the records between the anchor and the chain tip must stay replayable —
+// truncating up to a delta would strand the chain if its tail is later
+// torn. Memory-only replay pruning has the same shape: the retained buffer
+// must still cover everything after the newest FULL snapshot.
+//
+// The truncation additionally lags one full generation on purpose: restart
+// loads the newest READABLE snapshot, and if the newest file is lost to bit
+// rot the fallback generation still needs its WAL tail. The lag costs at
+// most one compaction interval of extra segments.
+func (st *stream) onCheckpointSave(sv checkpoint.Saved) {
 	st.mu.Lock()
+	st.lastCkpt = sv.Records
+	if !sv.Full {
+		st.mu.Unlock()
+		return
+	}
 	horizon := st.prevCkptLine
-	st.prevCkptLine = s.Records + s.BadRecords
-	st.lastCkpt = s.Records
+	st.prevCkptLine = sv.Records + sv.BadRecords
 	if st.wal == nil {
 		i := 0
-		for i < len(st.retained) && st.retained[i].seq <= s.Records {
+		for i < len(st.retained) && st.retained[i].seq <= sv.Records {
 			i++
 		}
 		if i > 0 {
 			st.retained = append(st.retained[:0], st.retained[i:]...)
 		}
-		// A fresh checkpoint re-arms replayability: everything after it is
-		// retained from here on.
-		if st.replayLost && len(st.retained) == 0 && st.consumed == s.Records {
+		// A fresh full checkpoint re-arms replayability: everything after
+		// it is retained from here on.
+		if st.replayLost && len(st.retained) == 0 && st.consumed == sv.Records {
 			st.replayLost = false
 		}
 		st.mu.Unlock()
@@ -882,6 +893,13 @@ func (st *stream) closeDurable() {
 		if st.tokens != nil {
 			if err := st.tokens.Close(); err != nil {
 				st.srv.log.Warn("token journal close failed", "stream", st.id, "error", err.Error())
+			}
+		}
+		if st.store != nil {
+			// Releases the open delta-chain segment descriptor; every
+			// appended frame is already fsynced, so nothing is lost.
+			if err := st.store.Close(); err != nil {
+				st.srv.log.Warn("checkpoint store close failed", "stream", st.id, "error", err.Error())
 			}
 		}
 	})

@@ -2,9 +2,12 @@
 // write-ahead log of CRC32-framed records, appended at HTTP accept time and
 // group-fsynced before the 2xx leaves the server, so a kill -9 of the
 // daemon loses nothing it acknowledged. The multi-stream server replays the
-// log tail past the newest checkpoint through its deterministic-restart
-// path at boot (see internal/server), replacing the in-memory retained
-// buffer and its ReplayLimit failure mode.
+// log tail past the newest recovered checkpoint through its
+// deterministic-restart path at boot (see internal/server), replacing the
+// in-memory retained buffer and its ReplayLimit failure mode. The log is
+// truncated only up to full-snapshot anchors — never delta frames — so the
+// tail always covers everything past the anchor and a lost or corrupt delta
+// chain costs replay time, not data (see TruncateBefore).
 //
 // Segment format, frozen at version 1 (file name wal-%016d.seg, the
 // zero-padded base line making lexical order equal stream order):
@@ -760,6 +763,13 @@ func (l *Log) newSegment(base uint64) error {
 // consumed-line position, keeping the tail exactly the records past the
 // newest checkpoint (at segment granularity; the active segment is never
 // removed).
+//
+// With delta checkpointing the caller must pass the line of the newest FULL
+// snapshot anchor, never a delta frame's: a delta is recoverable only by
+// replaying its chain from the anchor, so the records between the anchor and
+// the chain tip must stay in the log or a corrupt chain tail would strand
+// them (internal/server advances the floor only at full saves, lagging one
+// full generation).
 func (l *Log) TruncateBefore(line uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
