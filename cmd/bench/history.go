@@ -1,0 +1,81 @@
+package main
+
+// Bench history: -history FILE appends one compact JSONL line per run, so
+// CI can accumulate a perf trajectory across commits in a single
+// append-only artifact (BENCH_history.jsonl) instead of a pile of
+// per-build reports. One line carries the measurement context plus the
+// headline numbers per scenario; the full report (bytes/op, warnings,
+// windows/op) stays in BENCH_pipeline.json.
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// historySchema identifies the JSONL line layout for downstream tooling.
+const historySchema = "butterfly-bench-history/v1"
+
+// historyEntry is one appended line.
+type historyEntry struct {
+	Schema     string            `json:"schema"`
+	Timestamp  string            `json:"timestamp"`
+	Go         string            `json:"go"`
+	GOARCH     string            `json:"goarch"`
+	CPUs       int               `json:"cpus"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Quick      bool              `json:"quick"`
+	Scenarios  []historyScenario `json:"scenarios"`
+}
+
+// historyScenario is one scenario's headline numbers.
+type historyScenario struct {
+	Name          string  `json:"name"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// historyLine renders one report as a newline-terminated JSONL record.
+func historyLine(rep report) ([]byte, error) {
+	e := historyEntry{
+		Schema:     historySchema,
+		Timestamp:  rep.Timestamp,
+		Go:         rep.Go,
+		GOARCH:     rep.GOARCH,
+		CPUs:       rep.CPUs,
+		GOMAXPROCS: rep.GOMAXPROCS,
+		Quick:      rep.Quick,
+	}
+	for _, sc := range rep.Scenarios {
+		e.Scenarios = append(e.Scenarios, historyScenario{
+			Name:          sc.Name,
+			NsPerOp:       sc.NsPerOp,
+			WindowsPerSec: sc.WindowsPerSec,
+			AllocsPerOp:   sc.AllocsPerOp,
+		})
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// appendHistory appends the report's history line to path, creating the
+// file on first use. Appends are atomic at this line size on every
+// platform CI runs, so concurrent builds interleave whole lines.
+func appendHistory(path string, rep report) error {
+	line, err := historyLine(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func historyTestReport(ts string, ns int64) report {
+	return report{
+		Schema: benchSchema, Go: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		CPUs: 8, GOMAXPROCS: 8, Timestamp: ts, Quick: true,
+		Scenarios: []result{
+			{Name: "mine/eclat", NsPerOp: ns, AllocsPerOp: 10},
+			{Name: "publish/workers=2", NsPerOp: 2 * ns, AllocsPerOp: 20, WindowsPerOp: 7, WindowsPerSec: 3.5},
+		},
+	}
+}
+
+// TestAppendHistory pins the JSONL contract: each run appends exactly one
+// parseable line carrying the schema tag, the measurement context, and the
+// headline numbers per scenario — and appending never rewrites earlier
+// lines.
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := appendHistory(path, historyTestReport("2026-01-01T00:00:00Z", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, historyTestReport("2026-01-02T00:00:00Z", 1100)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var entries []historyEntry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e historyEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v (%q)", len(entries)+1, err, sc.Text())
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d lines, want 2", len(entries))
+	}
+	for i, e := range entries {
+		if e.Schema != historySchema {
+			t.Errorf("line %d schema %q, want %q", i+1, e.Schema, historySchema)
+		}
+		if len(e.Scenarios) != 2 {
+			t.Errorf("line %d carries %d scenarios, want 2", i+1, len(e.Scenarios))
+		}
+	}
+	if entries[0].Timestamp != "2026-01-01T00:00:00Z" || entries[1].Timestamp != "2026-01-02T00:00:00Z" {
+		t.Errorf("append order lost: %q then %q", entries[0].Timestamp, entries[1].Timestamp)
+	}
+	if got := entries[1].Scenarios[0]; got.Name != "mine/eclat" || got.NsPerOp != 1100 {
+		t.Errorf("scenario headline mangled: %+v", got)
+	}
+	if got := entries[0].Scenarios[1]; got.WindowsPerSec != 3.5 || got.AllocsPerOp != 20 {
+		t.Errorf("scenario headline mangled: %+v", got)
+	}
+}

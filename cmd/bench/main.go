@@ -264,6 +264,8 @@ func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: one iteration per scenario")
 	diff := flag.String("diff", "",
 		"baseline JSON to gate against: exit non-zero on a perf regression (see diff.go for the policy)")
+	history := flag.String("history", "",
+		"JSONL file to append this run's headline numbers to (see history.go; CI accumulates BENCH_history.jsonl)")
 	flag.Parse()
 
 	if *quick {
@@ -281,6 +283,13 @@ func main() {
 	}
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "bench: wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	}
+	if *history != "" {
+		if err := appendHistory(*history, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: appended to %s\n", *history)
 	}
 	if *diff != "" {
 		ok, err := runDiff(*diff, rep)

@@ -23,6 +23,12 @@
 //	GET    /v1/streams/{id}/windows    retained published windows (?from=N)
 //	GET    /v1/streams/{id}/trace      flight-recorder spans (trace_windows > 0)
 //
+// Health probes ride the same mux: GET /healthz is liveness plus a
+// diagnostic snapshot (always 200 once the listener binds — the daemon
+// binds before boot recovery so probes can watch a long WAL replay), and
+// GET /readyz is readiness (503 with reasons while recovering or
+// draining). The /v1 surface is gated 503 until recovery completes.
+//
 // The first SIGINT/SIGTERM starts a graceful drain: ingest is refused, every
 // stream publishes its final window and checkpoints, and the process exits
 // once all streams settle or -drain-timeout expires. A second signal aborts
@@ -166,22 +172,18 @@ func run(args []string, stdout io.Writer) error {
 		Registry:            reg,
 	})
 
-	// Recover every stream the previous process promised durability before
-	// the listener opens: clients must never reach a server that has not yet
-	// re-adopted their streams.
-	if *dataDir != "" {
-		rep, err := srv.Recover()
-		if err != nil {
-			return fmt.Errorf("recovering %s: %w", *dataDir, err)
-		}
-		logger.Info("recovered", "data_dir", *dataDir, "adopted", rep.Adopted,
-			"parked", rep.Parked, "replayed", rep.Replayed, "orphans_swept", len(rep.Orphans))
-	}
-
 	// One mux serves the v1 control plane and the observability endpoints.
 	mux := reg.Mux()
 	srv.Routes(mux)
 
+	// A durable boot binds the listener *before* recovery runs, so probes
+	// can watch a long WAL replay instead of timing out on a dead port:
+	// /healthz answers 200 immediately, /readyz says "recovering", and the
+	// gated /v1 surface refuses with 503 + Retry-After until the registry
+	// is rebuilt. Clients still never reach half-adopted streams.
+	if *dataDir != "" {
+		srv.BeginBoot()
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("-addr: %w", err)
@@ -199,13 +201,28 @@ func run(args []string, stdout io.Writer) error {
 		WriteTimeout:      2 * time.Minute,
 		MaxHeaderBytes:    1 << 20,
 	}
-	logger.Info("butterflyd listening", "addr", ln.Addr().String(),
-		"data_dir", *dataDir, "max_streams", *maxStreams)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
 	if serverStarted != nil {
 		serverStarted(ln.Addr().String())
 	}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
+
+	if *dataDir != "" {
+		rep, err := srv.Recover()
+		if err != nil {
+			hs.Close()
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		logger.Info("recovered", "data_dir", *dataDir, "adopted", rep.Adopted,
+			"parked", rep.Parked, "replayed", rep.Replayed, "orphans_swept", len(rep.Orphans),
+			"took", rep.Took.String(), "chain_apply", rep.ChainApply.String(),
+			"wal_replay", rep.WALReplay.String(),
+			"replay_lines_per_sec", fmt.Sprintf("%.0f", rep.ReplayRate))
+	}
+	// Logged after recovery on purpose: tooling that waits for this line
+	// gets a server whose /v1 surface is open for business.
+	logger.Info("butterflyd listening", "addr", ln.Addr().String(),
+		"data_dir", *dataDir, "max_streams", *maxStreams)
 
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

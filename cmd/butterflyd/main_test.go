@@ -107,6 +107,9 @@ func TestRunEndToEnd(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not start")
 	}
+	// serverStarted fires as soon as the listener binds — before boot
+	// recovery; wait for readiness so the /v1 calls below are not refused.
+	waitReady(t, base, 10*time.Second)
 
 	post := func(path, body string, want int) []byte {
 		t.Helper()

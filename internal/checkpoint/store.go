@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // Crash points of the write protocol, consulted through Store.CrashHook so
@@ -487,6 +488,13 @@ type ChainDetail struct {
 	AnchorBadRecords uint64
 	// Frames is how many delta frames were applied on top of the anchor.
 	Frames int
+	// LoadDur is the wall time spent reading and decoding the anchor full
+	// snapshot; ChainApplyDur is the wall time spent reading the delta
+	// segment and replaying its frames. Together they are the "restore the
+	// state" half of a boot recovery (WAL replay is the other half), the
+	// numbers that tune CheckpointFullEvery.
+	LoadDur       time.Duration
+	ChainApplyDur time.Duration
 }
 
 // Latest returns the newest recoverable snapshot and the path of its anchor
@@ -509,6 +517,7 @@ func (st *Store) LatestDetail() (*Snapshot, ChainDetail, error) {
 		return nil, ChainDetail{}, err
 	}
 	for i := len(gens) - 1; i >= 0; i-- {
+		loadStart := time.Now()
 		data, err := os.ReadFile(gens[i])
 		if err != nil {
 			st.logf("checkpoint: skipping unreadable generation %s: %v", gens[i], err)
@@ -523,13 +532,16 @@ func (st *Store) LatestDetail() (*Snapshot, ChainDetail, error) {
 			Path:             gens[i],
 			AnchorRecords:    s.Records,
 			AnchorBadRecords: s.BadRecords,
+			LoadDur:          time.Since(loadStart),
 		}
 		segPath := st.segmentPath(s.Records)
+		applyStart := time.Now()
 		if seg, err := os.ReadFile(segPath); err == nil {
 			det.Frames = ApplyChain(s, seg, det.AnchorRecords, crc32.ChecksumIEEE(data),
 				func(format string, args ...any) {
 					st.logf("checkpoint: delta chain %s: "+format, append([]any{segPath}, args...)...)
 				})
+			det.ChainApplyDur = time.Since(applyStart)
 		} else if !os.IsNotExist(err) {
 			st.logf("checkpoint: reading delta segment %s: %v", segPath, err)
 		}

@@ -242,6 +242,23 @@ type Window struct {
 // repeated runs over the same records reproduce the same outputs.
 type Pipeline struct {
 	cfg Config
+
+	// stagesDone is closed once the most recent RunContext's stage
+	// goroutines have all unwound; see Wait.
+	stagesDone chan struct{}
+}
+
+// Wait blocks until the stage goroutines of the most recent RunContext
+// call have fully unwound. A canceled RunContext returns within the
+// cancellation latency of a channel select while its stages are still
+// draining — in particular the emit stage may be mid checkpoint save.
+// Callers about to reclaim resources the stages touch (the checkpoint
+// store, the durable directory) or to start another run against the same
+// store must Wait first. Returns immediately if RunContext never ran.
+func (p *Pipeline) Wait() {
+	if p.stagesDone != nil {
+		<-p.stagesDone
+	}
 }
 
 // New validates the configuration and returns a Pipeline.
@@ -450,6 +467,7 @@ func (p *Pipeline) RunContext(ctx context.Context, src RecordSource, emit func(W
 	}()
 
 	done := make(chan struct{})
+	p.stagesDone = done
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:

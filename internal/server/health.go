@@ -1,0 +1,188 @@
+package server
+
+// Liveness vs readiness, split the way orchestrators want them:
+//
+//   - /healthz is liveness plus a diagnostic snapshot. It answers 200 as
+//     soon as the mux is up — during boot recovery, during drain, always —
+//     because a process that is recovering is alive, and restarting it for
+//     failing a health probe would only make the recovery longer. The body
+//     carries the operator's first-glance state: stream counts by
+//     lifecycle state, publish lag, checkpoint staleness, the last boot
+//     recovery's phase timings, and the slowest end-to-end exemplar behind
+//     butterfly_server_e2e_slowest_seconds.
+//
+//   - /readyz is readiness: 200 exactly when /v1 traffic will be accepted.
+//     It answers 503 with machine-readable reasons while the server is
+//     recovering (BeginBoot..Recover) or draining, so a load balancer
+//     stops routing before clients see the 503s themselves.
+//
+// The /v1 surface is gated on the same readiness bit: until Recover
+// completes, requests get 503 + Retry-After instead of racing
+// half-adopted streams.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// errRecovering gates the /v1 surface between BeginBoot and Recover.
+var errRecovering = errors.New("server is recovering")
+
+// BeginBoot marks the server not-ready until Recover completes. Call it
+// before binding the listener on a durable (data-dir) boot: the health
+// endpoints then answer immediately while /v1 refuses with 503. A server
+// that never calls BeginBoot (tests, memory-only mode) is born ready.
+func (s *Server) BeginBoot() {
+	s.ready.Store(false)
+}
+
+// Ready reports whether the server currently accepts /v1 traffic.
+func (s *Server) Ready() bool {
+	return s.ready.Load() && !s.draining.Load()
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	// Status is "ok", "recovering", or "draining".
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Ready         bool    `json:"ready"`
+	Recovering    bool    `json:"recovering"`
+	Draining      bool    `json:"draining"`
+	// Streams counts hosted streams by lifecycle state (only states with
+	// at least one stream appear).
+	Streams map[string]int `json:"streams"`
+	// PublishLagSeconds is the worst now-minus-last-publish over running
+	// streams that have queued work and have published at least once — the
+	// "a pipeline is wedged" signal. 0 when nothing lags.
+	PublishLagSeconds float64 `json:"publish_lag_seconds"`
+	// MaxCheckpointAgeSeconds is the stalest per-stream checkpoint age
+	// (see butterfly_checkpoint_last_save_age_seconds). 0 when no stream
+	// has saved yet.
+	MaxCheckpointAgeSeconds float64 `json:"max_checkpoint_age_seconds"`
+	// LastRecovery summarizes the most recent boot recovery (absent before
+	// any Recover).
+	LastRecovery *recoverySummary `json:"last_recovery,omitempty"`
+	// SlowestE2E is the exemplar behind butterfly_server_e2e_slowest_seconds
+	// (absent before any end-to-end observation).
+	SlowestE2E *e2eExemplar `json:"slowest_e2e,omitempty"`
+}
+
+// recoverySummary is RecoverReport rendered for /healthz — durations in
+// seconds, ready for dashboards and CheckpointFullEvery tuning.
+type recoverySummary struct {
+	Adopted              int     `json:"adopted"`
+	Parked               int     `json:"parked"`
+	Replayed             int     `json:"replayed"`
+	Orphans              int     `json:"orphans"`
+	TookSeconds          float64 `json:"took_seconds"`
+	ManifestLoadSeconds  float64 `json:"manifest_load_seconds"`
+	ChainApplySeconds    float64 `json:"chain_apply_seconds"`
+	WALOpenSeconds       float64 `json:"wal_open_seconds"`
+	WALReplaySeconds     float64 `json:"wal_replay_seconds"`
+	ReplayLinesPerSecond float64 `json:"replay_lines_per_second"`
+}
+
+// e2eExemplar names the stream/window behind the slowest end-to-end
+// latency seen so far.
+type e2eExemplar struct {
+	Stream  string  `json:"stream"`
+	Window  uint64  `json:"window"`
+	Seconds float64 `json:"seconds"`
+}
+
+// readyBody is the /readyz response.
+type readyBody struct {
+	Ready bool `json:"ready"`
+	// Reasons lists why the server is not ready ("recovering",
+	// "draining"); empty when ready.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ready, draining := s.ready.Load(), s.draining.Load()
+	body := healthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Ready:         ready && !draining,
+		Recovering:    !ready,
+		Draining:      draining,
+		Streams:       map[string]int{},
+	}
+	switch {
+	case draining:
+		body.Status = "draining"
+	case !ready:
+		body.Status = "recovering"
+	}
+	now := time.Now()
+	for _, st := range s.all() {
+		state := st.currentState()
+		body.Streams[state]++
+		if age := st.checkpointAge(); age > body.MaxCheckpointAgeSeconds {
+			body.MaxCheckpointAgeSeconds = age
+		}
+		if state != StateRunning || len(st.queue) == 0 {
+			continue
+		}
+		if at := st.lastEmit.Load(); at > 0 {
+			if lag := now.Sub(time.Unix(0, at)).Seconds(); lag > body.PublishLagSeconds {
+				body.PublishLagSeconds = lag
+			}
+		}
+	}
+	s.recoverMu.Lock()
+	rep := s.lastRecovery
+	s.recoverMu.Unlock()
+	if rep.Took > 0 {
+		body.LastRecovery = &recoverySummary{
+			Adopted:              rep.Adopted,
+			Parked:               rep.Parked,
+			Replayed:             rep.Replayed,
+			Orphans:              len(rep.Orphans),
+			TookSeconds:          rep.Took.Seconds(),
+			ManifestLoadSeconds:  rep.ManifestLoad.Seconds(),
+			ChainApplySeconds:    rep.ChainApply.Seconds(),
+			WALOpenSeconds:       rep.WALOpen.Seconds(),
+			WALReplaySeconds:     rep.WALReplay.Seconds(),
+			ReplayLinesPerSecond: rep.ReplayRate,
+		}
+	}
+	if stream, window, sec := s.metrics.slowestE2E(); sec > 0 {
+		body.SlowestE2E = &e2eExemplar{Stream: stream, Window: window, Seconds: sec}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var body readyBody
+	if !s.ready.Load() {
+		body.Reasons = append(body.Reasons, "recovering")
+	}
+	if s.draining.Load() {
+		body.Reasons = append(body.Reasons, "draining")
+	}
+	body.Ready = len(body.Reasons) == 0
+	code := http.StatusOK
+	if !body.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// gated wraps a /v1 handler with the readiness gate: while the server is
+// between BeginBoot and Recover, the request is refused with 503 +
+// Retry-After instead of touching a registry that is still being rebuilt.
+// (Draining is not gated here — each handler maps errDraining itself, and
+// reads like /windows stay useful during a drain.)
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errRecovering)
+			return
+		}
+		h(w, r)
+	}
+}

@@ -16,19 +16,24 @@ import (
 	"repro/internal/checkpoint"
 )
 
-// Routes installs the control plane and ingest handlers on mux, typically
-// next to the telemetry registry's own /metrics and /debug routes.
+// Routes installs the control plane, ingest, and health handlers on mux,
+// typically next to the telemetry registry's own /metrics and /debug
+// routes. The /v1 surface is readiness-gated (see health.go): between
+// BeginBoot and Recover it answers 503 + Retry-After; the health probes
+// themselves are never gated.
 func (s *Server) Routes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/streams", s.handleCreate)
-	mux.HandleFunc("GET /v1/streams", s.handleList)
-	mux.HandleFunc("GET /v1/streams/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/streams/{id}/records", s.handleIngest)
-	mux.HandleFunc("POST /v1/streams/{id}/close", s.handleClose)
-	mux.HandleFunc("POST /v1/streams/{id}/pause", s.handlePause)
-	mux.HandleFunc("POST /v1/streams/{id}/resume", s.handleResume)
-	mux.HandleFunc("GET /v1/streams/{id}/windows", s.handleWindows)
-	mux.HandleFunc("GET /v1/streams/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/streams", s.gated(s.handleCreate))
+	mux.HandleFunc("GET /v1/streams", s.gated(s.handleList))
+	mux.HandleFunc("GET /v1/streams/{id}", s.gated(s.handleStatus))
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.gated(s.handleDelete))
+	mux.HandleFunc("POST /v1/streams/{id}/records", s.gated(s.handleIngest))
+	mux.HandleFunc("POST /v1/streams/{id}/close", s.gated(s.handleClose))
+	mux.HandleFunc("POST /v1/streams/{id}/pause", s.gated(s.handlePause))
+	mux.HandleFunc("POST /v1/streams/{id}/resume", s.gated(s.handleResume))
+	mux.HandleFunc("GET /v1/streams/{id}/windows", s.gated(s.handleWindows))
+	mux.HandleFunc("GET /v1/streams/{id}/trace", s.gated(s.handleTrace))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

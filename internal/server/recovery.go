@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -45,12 +46,34 @@ type RecoverReport struct {
 	// Orphans lists stream directories swept because the manifest does not
 	// mention them.
 	Orphans []string
+
+	// Phase timings, summed across streams — the butterfly_recovery_seconds
+	// series, and the data that tunes CheckpointFullEvery: ChainApply grows
+	// with the delta-chain length (full-every interval), WALReplay with the
+	// lines accepted since the last FULL anchor.
+	Took         time.Duration
+	ManifestLoad time.Duration
+	OrphanSweep  time.Duration
+	ChainApply   time.Duration // anchor snapshot load + delta-frame replay
+	WALOpen      time.Duration // WAL + token-journal scan/CRC validation
+	WALReplay    time.Duration // reading the post-checkpoint tails back
+	// ReplayRate is Replayed ÷ WALReplay in lines per second (0 when nothing
+	// was replayed).
+	ReplayRate float64
+}
+
+// adoptTiming is one stream's recovery-phase breakdown.
+type adoptTiming struct {
+	chainApply time.Duration
+	walOpen    time.Duration
+	walReplay  time.Duration
 }
 
 // Recover loads the manifest and re-adopts every stream it records. Call
 // it once, after New and before serving traffic; it requires a DataDir.
 func (s *Server) Recover() (RecoverReport, error) {
 	var rep RecoverReport
+	t0 := time.Now()
 	if s.opts.DataDir == "" {
 		return rep, fmt.Errorf("recover requires a server data dir")
 	}
@@ -60,10 +83,12 @@ func (s *Server) Recover() (RecoverReport, error) {
 	if err := s.loadManifest(); err != nil {
 		return rep, err
 	}
+	rep.ManifestLoad = time.Since(t0)
 
 	// Sweep directories the manifest does not claim. Safe exactly because an
 	// unreadable manifest aborted above: reaching here means the manifest is
 	// the complete list of streams that were promised durability.
+	sweepStart := time.Now()
 	entries, err := os.ReadDir(s.streamsRoot())
 	if err != nil {
 		return rep, fmt.Errorf("listing streams root: %w", err)
@@ -80,6 +105,7 @@ func (s *Server) Recover() (RecoverReport, error) {
 		rep.Orphans = append(rep.Orphans, de.Name())
 		s.log.Info("orphan stream directory swept", "stream", de.Name())
 	}
+	rep.OrphanSweep = time.Since(sweepStart)
 
 	s.manifestMu.Lock()
 	ids := make([]string, 0, len(s.manifest))
@@ -94,17 +120,52 @@ func (s *Server) Recover() (RecoverReport, error) {
 		if !ok {
 			continue
 		}
-		parked, replayed := s.adopt(id, e)
+		parked, replayed, tm := s.adopt(id, e)
 		if parked {
 			rep.Parked++
 		} else {
 			rep.Adopted++
 			rep.Replayed += replayed
 		}
+		rep.ChainApply += tm.chainApply
+		rep.WALOpen += tm.walOpen
+		rep.WALReplay += tm.walReplay
 	}
+	rep.Took = time.Since(t0)
+	if rep.Replayed > 0 && rep.WALReplay > 0 {
+		rep.ReplayRate = float64(rep.Replayed) / rep.WALReplay.Seconds()
+	}
+	s.recordRecovery(rep)
+	s.ready.Store(true)
 	s.log.Info("recovery complete", "adopted", rep.Adopted, "parked", rep.Parked,
-		"replayed", rep.Replayed, "orphans", len(rep.Orphans))
+		"replayed", rep.Replayed, "orphans", len(rep.Orphans),
+		"took", rep.Took.String(), "manifest_load", rep.ManifestLoad.String(),
+		"chain_apply", rep.ChainApply.String(), "wal_open", rep.WALOpen.String(),
+		"wal_replay", rep.WALReplay.String(),
+		"replay_lines_per_sec", fmt.Sprintf("%.0f", rep.ReplayRate))
 	return rep, nil
+}
+
+// recordRecovery publishes one recovery report to the registry and the
+// /healthz surface.
+func (s *Server) recordRecovery(rep RecoverReport) {
+	s.recoverMu.Lock()
+	s.lastRecovery = rep
+	s.recoverMu.Unlock()
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	m.recoveryPhase(recPhaseManifestLoad).Set(rep.ManifestLoad.Seconds())
+	m.recoveryPhase(recPhaseOrphanSweep).Set(rep.OrphanSweep.Seconds())
+	m.recoveryPhase(recPhaseChainApply).Set(rep.ChainApply.Seconds())
+	m.recoveryPhase(recPhaseWALOpen).Set(rep.WALOpen.Seconds())
+	m.recoveryPhase(recPhaseWALReplay).Set(rep.WALReplay.Seconds())
+	m.recoveryPhase(recPhaseAdopt).Set((rep.ChainApply + rep.WALOpen + rep.WALReplay).Seconds())
+	m.recoveryPhase(recPhaseTotal).Set(rep.Took.Seconds())
+	m.recoveryStreams(recOutcomeAdopted).Set(float64(rep.Adopted))
+	m.recoveryStreams(recOutcomeParked).Set(float64(rep.Parked))
+	m.setReplayRate(rep.ReplayRate)
 }
 
 // adopt re-registers one manifest stream. A stream that cannot be adopted
@@ -113,7 +174,7 @@ func (s *Server) Recover() (RecoverReport, error) {
 // control plane, resume it (quarantined), or delete it (which GCs the
 // directory) — but never silently dropped: it is in the manifest, so it was
 // promised durability.
-func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
+func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int, tm adoptTiming) {
 	cfg := e.Config
 	cfg.ID = id
 	cfg.Resume = false
@@ -185,7 +246,9 @@ func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
 		park(StateQuarantined, "manifest fingerprint does not match the stream config", true)
 		return
 	}
+	walOpenStart := time.Now()
 	walRep, err := st.openDurable(dir, warnf)
+	tm.walOpen = time.Since(walOpenStart)
 	if err != nil {
 		park(StateQuarantined, err.Error(), true)
 		return
@@ -196,6 +259,7 @@ func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
 			"dropped_bytes", walRep.DroppedBytes, "dropped_segments", walRep.DroppedSegments)
 	}
 	snap, det, err := st.store.LatestDetail()
+	tm.chainApply = det.LoadDur + det.ChainApplyDur
 	if err != nil {
 		park(StateQuarantined, fmt.Sprintf("loading checkpoint: %v", err), true)
 		return
@@ -238,7 +302,9 @@ func (s *Server) adopt(id string, e manifestEntry) (parked bool, replayed int) {
 		park(StateQuarantined, err.Error(), true)
 		return
 	}
+	replayStart := time.Now()
 	tail, err := st.wal.Tail(ckptLine, lines)
+	tm.walReplay = time.Since(replayStart)
 	if err != nil {
 		park(StateQuarantined, fmt.Sprintf("wal replay: %v", err), true)
 		return

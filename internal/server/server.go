@@ -176,6 +176,18 @@ type Server struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 
+	// Readiness (see health.go): New starts ready; BeginBoot flips the
+	// server not-ready until Recover completes, so a booting daemon can
+	// serve /healthz and refuse /v1 traffic with 503 instead of racing
+	// half-adopted streams.
+	ready   atomic.Bool
+	started time.Time
+
+	// lastRecovery holds the most recent Recover report for /healthz
+	// (zero value before any recovery).
+	recoverMu    sync.Mutex
+	lastRecovery RecoverReport
+
 	// manifest mirrors DataDir/manifest.json (see manifest.go).
 	manifestMu sync.Mutex
 	manifest   map[string]manifestEntry
@@ -198,7 +210,9 @@ func New(opts Options) *Server {
 		opts:    opts,
 		log:     opts.Logger,
 		metrics: newServerMetrics(opts.Registry),
+		started: time.Now(),
 	}
+	s.ready.Store(true)
 	if opts.Registry != nil {
 		// The hosted pipelines share the registry; registering here keeps
 		// /metrics complete before the first stream runs.
@@ -358,6 +372,10 @@ type StreamStatus struct {
 	// WALSegments is the stream's current ingest-WAL segment count (durable
 	// mode only).
 	WALSegments int `json:"wal_segments,omitempty"`
+	// LastCheckpointAge is seconds since the stream's last persisted
+	// checkpoint generation (0 before the first save) — the staleness the
+	// butterfly_checkpoint_last_save_age_seconds gauge reports.
+	LastCheckpointAge float64 `json:"last_checkpoint_age,omitempty"`
 }
 
 // Create admits and starts a stream. The returned status reflects the
@@ -522,6 +540,10 @@ func (s *Server) buildStream(cfg StreamConfig, scheme core.Scheme) (*stream, fun
 		done:     make(chan struct{}),
 	}
 	st.mRecords, st.mWindows = s.metrics.streamCounters(cfg.ID)
+	// Pull-style per-stream gauges: read the live channel length / atomic
+	// stamp at scrape time, costing the hot path nothing.
+	s.metrics.streamQueueDepth(cfg.ID, func() float64 { return float64(len(st.queue)) })
+	s.metrics.streamCheckpointAge(cfg.ID, st.checkpointAge)
 	st.runCtx, st.stop = context.WithCancel(s.ctx)
 	if cfg.TraceWindows > 0 {
 		st.tracer = trace.New(trace.Options{Windows: cfg.TraceWindows})
@@ -647,6 +669,11 @@ func (s *Server) supervise(st *stream, snap *checkpoint.Snapshot, synth uint64, 
 		// land before inspecting consumption state, or the record it dequeues
 		// would miss the replay buffer and be dropped from the stream.
 		qs.retire(cancelRun)
+		// A canceled RunContext can likewise return while the emit stage is
+		// still draining buffered windows — including checkpoint saves. Join
+		// the stages before the restart loop reuses the store or a caller
+		// (Delete, gcStream) reclaims the stream's durable directory.
+		p.Wait()
 		if runErr == nil {
 			st.setState(StateDone, nil)
 			// The stream is complete: its final window and checkpoint are

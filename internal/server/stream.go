@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/data"
@@ -60,6 +61,11 @@ type queueItem struct {
 	// size is the item's approximate in-memory footprint, charged against
 	// the server-wide inflight-bytes admission cap.
 	size int64
+	// enq is the wall-clock acceptance stamp (unix nanos), set when the
+	// item's request group became durable and visible; zero on replay items
+	// and when metrics are off. Feeds the queue-age and end-to-end latency
+	// histograms only — never the pipeline.
+	enq int64
 }
 
 func itemSize(it queueItem) int64 {
@@ -125,6 +131,11 @@ type stream struct {
 	mRecords *telemetry.Counter
 	mWindows *telemetry.Counter
 
+	// Latency bookkeeping (metrics-only, observation-only).
+	lastCkptAt atomic.Int64 // unix nanos of the newest persisted checkpoint generation
+	lastEmit   atomic.Int64 // unix nanos of the newest emitted window
+	e2eStamps  e2eRing      // acceptance stamps keyed by record seq, under st.mu
+
 	mu           sync.Mutex
 	state        string
 	lastErr      string
@@ -145,6 +156,36 @@ type stream struct {
 
 // closedChan is the shared always-open pause gate.
 var closedChan = func() chan struct{} { c := make(chan struct{}); close(c); return c }()
+
+// e2eRingSize bounds the per-stream end-to-end stamp table. Windows publish
+// on the seq of their last record, so the table only needs to span one
+// publish interval plus the queue; seqs further apart than the ring simply
+// lose their exemplar (the histogram skips them, never mis-measures).
+const e2eRingSize = 4096
+
+// e2eRing maps record seq → acceptance stamp (unix nanos) for the most
+// recent e2eRingSize good records. Guarded by the stream's st.mu.
+type e2eRing struct {
+	seq [e2eRingSize]uint64
+	at  [e2eRingSize]int64
+}
+
+func (r *e2eRing) put(seq uint64, at int64) {
+	i := seq % e2eRingSize
+	r.seq[i], r.at[i] = seq, at
+}
+
+// take returns and clears the stamp for seq, so a window re-published after
+// a restart cannot observe a stale acceptance time twice.
+func (r *e2eRing) take(seq uint64) (int64, bool) {
+	i := seq % e2eRingSize
+	if r.seq[i] != seq || r.at[i] == 0 {
+		return 0, false
+	}
+	at := r.at[i]
+	r.seq[i], r.at[i] = 0, 0
+	return at, true
+}
 
 // ---- state machine ----
 
@@ -336,10 +377,38 @@ func (st *stream) ingest(body io.Reader, offset int64) (accepted int, bad int, e
 		stagedBytes int64
 		badStaged   uint64
 	)
+	// Request-scoped observability (strictly observation-only): a root span
+	// per ingest request with aggregated parse / wal.append children, plus
+	// the request-latency histogram. rw is nil when tracing is off and every
+	// timing read is gated, so the disabled path costs one pointer test.
+	rw := st.tracer.StartRoot(trace.KindIngest)
+	var (
+		reqStart   time.Time
+		parseStart time.Time
+		parseDur   time.Duration
+		walStart   time.Time
+		walDur     time.Duration
+	)
+	if rw != nil || st.srv.metrics != nil {
+		reqStart = time.Now()
+	}
 	tr := data.NewTransactionReader(&lineGuard{r: body}, st.vocab)
 parse:
 	for {
-		rec, rerr := tr.Next()
+		var (
+			rec  itemset.Itemset
+			rerr error
+		)
+		if rw != nil {
+			t0 := time.Now()
+			if parseStart.IsZero() {
+				parseStart = t0
+			}
+			rec, rerr = tr.Next()
+			parseDur += time.Since(t0)
+		} else {
+			rec, rerr = tr.Next()
+		}
 		var item queueItem
 		switch {
 		case rerr == io.EOF:
@@ -383,7 +452,18 @@ parse:
 			break parse
 		}
 		if st.wal != nil {
-			if werr := st.wal.Append(wal.Record{Line: item.line, Seq: item.seq, Rec: item.rec, Bad: item.bad}); werr != nil {
+			var t0 time.Time
+			if rw != nil {
+				t0 = time.Now()
+				if walStart.IsZero() {
+					walStart = t0
+				}
+			}
+			werr := st.wal.Append(wal.Record{Line: item.line, Seq: item.seq, Rec: item.rec, Bad: item.bad})
+			if rw != nil {
+				walDur += time.Since(t0)
+			}
+			if werr != nil {
 				err = fmt.Errorf("%w: %v", errDurability, werr)
 				break parse
 			}
@@ -402,6 +482,10 @@ parse:
 	}
 	// Durability barrier: nothing below is acknowledged or handed to the
 	// pipeline before the group's fsyncs return.
+	syncStart := reqStart
+	if rw != nil {
+		syncStart = time.Now()
+	}
 	if serr := st.syncDurable(); serr != nil {
 		// Unwind the acceptance: the staged lines never reached the disk or
 		// the pipeline, so the counters must not claim them — the client
@@ -409,10 +493,22 @@ parse:
 		st.lines, st.seq = lines0, seq0
 		return 0, 0, fmt.Errorf("%w: %v", errDurability, serr)
 	}
+	if rw != nil && st.wal != nil {
+		rw.Add(trace.KindWALFsync, syncStart, time.Since(syncStart))
+	}
 	// Visibility: charge the admission accounting and hand the group to
 	// the pipeline. Capacity was reserved during staging, so these sends
 	// cannot block.
+	var (
+		enqAt    int64
+		enqStart time.Time
+	)
+	if st.srv.metrics != nil || rw != nil {
+		enqStart = time.Now()
+		enqAt = enqStart.UnixNano()
+	}
 	for _, it := range staged {
+		it.enq = enqAt
 		st.srv.addInflight(it.size)
 		st.queue <- it
 		if it.bad != nil {
@@ -426,6 +522,24 @@ parse:
 		st.mu.Lock()
 		st.badSeen += badStaged
 		st.mu.Unlock()
+	}
+	if rw != nil {
+		rw.Add(trace.KindEnqueue, enqStart, time.Since(enqStart))
+		rw.SetID(st.lines)
+		if parseDur > 0 {
+			rw.Add(trace.KindParse, parseStart, parseDur)
+		}
+		if walDur > 0 {
+			rw.Add(trace.KindWALAppend, walStart, walDur)
+		}
+		rw.Attr(trace.AttrLines, int64(accepted))
+		rw.Attr(trace.AttrRecords, int64(accepted-bad))
+		rw.Attr(trace.AttrBadRecords, int64(bad))
+		rw.Attr(trace.AttrQueueLen, int64(len(st.queue)))
+		st.tracer.Commit(rw)
+	}
+	if st.srv.metrics != nil {
+		st.srv.metrics.observeIngest(time.Since(reqStart))
 	}
 	return accepted, bad, err
 }
@@ -638,10 +752,18 @@ func (qs *queueSource) Next() (itemset.Itemset, error) {
 // In durable mode the WAL tail is the replay buffer and nothing is retained.
 func (st *stream) noteConsumed(it queueItem) {
 	st.srv.addInflight(-it.size)
+	var now int64
+	if m := st.srv.metrics; m != nil && it.enq > 0 {
+		now = time.Now().UnixNano()
+		m.observeQueueAge(time.Duration(now - it.enq))
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if it.bad == nil {
 		st.consumed = it.seq
+		if now > 0 {
+			st.e2eStamps.put(it.seq, it.enq)
+		}
 	}
 	if it.line > st.consumedLine {
 		st.consumedLine = it.line
@@ -694,6 +816,7 @@ func (st *stream) noteReplayed(it queueItem) {
 // rot the fallback generation still needs its WAL tail. The lag costs at
 // most one compaction interval of extra segments.
 func (st *stream) onCheckpointSave(sv checkpoint.Saved) {
+	st.lastCkptAt.Store(time.Now().UnixNano())
 	st.mu.Lock()
 	st.lastCkpt = sv.Records
 	if !sv.Full {
@@ -846,7 +969,28 @@ func (st *stream) emit(w pipeline.Window) error {
 	st.storeWindow(w.Position, buf.String())
 	st.progress.Store(true)
 	st.mWindows.Inc()
+	if m := st.srv.metrics; m != nil {
+		now := time.Now().UnixNano()
+		st.lastEmit.Store(now)
+		st.mu.Lock()
+		at, ok := st.e2eStamps.take(uint64(w.Position))
+		st.mu.Unlock()
+		if ok && now > at {
+			m.observeE2E(st.id, uint64(w.Position), float64(now-at)/1e9)
+		}
+	}
 	return nil
+}
+
+// checkpointAge returns seconds since the stream's last persisted
+// checkpoint generation (0 before the first save) — the pull-style
+// staleness gauge and the status JSON read it.
+func (st *stream) checkpointAge() float64 {
+	at := st.lastCkptAt.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, at)).Seconds()
 }
 
 func (st *stream) storeWindow(pos int, body string) {
@@ -923,6 +1067,7 @@ func (st *stream) status() StreamStatus {
 	if st.wal != nil {
 		segs = st.wal.SegmentCount()
 	}
+	ckptAge := st.checkpointAge()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	// A stream parked at adoption because its scheme no longer parses has
@@ -950,6 +1095,7 @@ func (st *stream) status() StreamStatus {
 		Durable:             st.wal != nil,
 		ReplayLost:          st.replayLost,
 		WALSegments:         segs,
+		LastCheckpointAge:   ckptAge,
 	}
 }
 

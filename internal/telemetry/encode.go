@@ -52,6 +52,8 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				ss.Value = float64(m.Value())
 			case *Gauge:
 				ss.Value = m.Value()
+			case *GaugeFunc:
+				ss.Value = m.Value()
 			case *Histogram:
 				ss.Count = m.Count()
 				ss.Sum = m.Sum()

@@ -96,6 +96,18 @@ func (g *Gauge) Add(d float64) {
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// GaugeFunc is a gauge whose value is computed at snapshot time by a
+// caller-supplied function — the idiom for values that already live
+// somewhere cheap to read (a channel length, an atomic timestamp), where a
+// push-updated Gauge would cost hot-path writes only to be stale at scrape.
+// The function must be safe for concurrent use and must not block.
+type GaugeFunc struct {
+	fn func() float64
+}
+
+// Value computes the current value.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
 // Histogram is a fixed-bucket cumulative histogram in the Prometheus
 // model: Observe(v) increments the first bucket whose upper bound admits v
 // (plus the implicit +Inf bucket), the total count, and the running sum.
@@ -185,7 +197,7 @@ const (
 // series is one registered instrument under a family.
 type series struct {
 	labels string // canonical rendering, "" when unlabeled
-	metric any    // *Counter | *Gauge | *Histogram
+	metric any    // *Counter | *Gauge | *GaugeFunc | *Histogram
 }
 
 // family groups the series sharing a metric name.
@@ -248,6 +260,17 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 // Gauge registers (or returns the existing) gauge name+labels.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return r.register(name, help, TypeGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a pull-style gauge whose value is fn() at snapshot
+// time. It shares the gauge type (and exposition) with Gauge, so a family
+// may not mix the two kinds under one name with the same labels — the first
+// registration wins, like every other idempotent re-registration.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) *GaugeFunc {
+	if fn == nil {
+		panic("telemetry: nil GaugeFunc function")
+	}
+	return r.register(name, help, TypeGauge, labels, func() any { return &GaugeFunc{fn: fn} }).(*GaugeFunc)
 }
 
 // Histogram registers (or returns the existing) histogram name+labels with

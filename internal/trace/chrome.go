@@ -5,7 +5,11 @@ package trace
 // Each window becomes its own track (tid = window id) holding the root span
 // with the stage spans nested inside it by time containment, so the UI
 // shows source/mine/perturb/emit/checkpoint bars per window and retry spans
-// nested under emit. Timestamps are microseconds since the tracer epoch.
+// nested under emit. Server-side ingest roots (KindIngest) share the same
+// process but render on a dedicated "ingest" track (tid 0), so one Perfetto
+// timeline shows a record's full path: its ingest request on the ingest
+// lane, its window on the window lane, same time axis. Timestamps are
+// microseconds since the tracer epoch.
 
 import (
 	"encoding/json"
@@ -50,21 +54,30 @@ func attrArgs(attrs []Attr) map[string]any {
 	return args
 }
 
-// chromeEvents renders decoded records into trace events.
+// chromeEvents renders decoded records into trace events. Window roots get
+// one track each (tid = window id); every other root kind — ingest requests
+// — lands on the shared tid-0 "ingest" track.
 func chromeEvents(records []Record) []chromeEvent {
 	events := []chromeEvent{{
 		Name: "process_name", Ph: "M", Pid: chromePid,
 		Args: map[string]any{"name": "butterfly pipeline"},
+	}, {
+		Name: "thread_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "ingest"},
 	}}
 	for _, rec := range records {
+		tid := rec.Window
+		if rec.Kind != "" && rec.Kind != KindWindow.String() {
+			tid = 0
+		}
 		root := chromeEvent{
-			Name: fmt.Sprintf("window %d", rec.Window),
-			Cat:  "window",
+			Name: fmt.Sprintf("%s %d", rootKindName(rec.Kind), rec.Window),
+			Cat:  rootKindName(rec.Kind),
 			Ph:   "X",
 			Ts:   micros(rec.Start.Nanoseconds()),
 			Dur:  micros(rec.Dur.Nanoseconds()),
 			Pid:  chromePid,
-			Tid:  rec.Window,
+			Tid:  tid,
 			Args: attrArgs(rec.Attrs),
 		}
 		if rec.Dropped > 0 {
@@ -82,12 +95,21 @@ func chromeEvents(records []Record) []chromeEvent {
 				Ts:   micros(sp.Start.Nanoseconds()),
 				Dur:  micros(sp.Dur.Nanoseconds()),
 				Pid:  chromePid,
-				Tid:  rec.Window,
+				Tid:  tid,
 				Args: attrArgs(sp.Attrs),
 			})
 		}
 	}
 	return events
+}
+
+// rootKindName defaults pre-Kind records (older snapshots decode with an
+// empty Kind) to "window".
+func rootKindName(kind string) string {
+	if kind == "" {
+		return KindWindow.String()
+	}
+	return kind
 }
 
 // WriteChrome writes the current snapshot (ring ∪ exemplars) as Chrome

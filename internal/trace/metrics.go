@@ -62,15 +62,21 @@ func (t *Tracer) observe(d *windowData) {
 	if m == nil {
 		return
 	}
-	m.spans[KindWindow].Observe(float64(d.dur) / 1e9)
+	if int(d.kind) < numKinds {
+		m.spans[d.kind].Observe(float64(d.dur) / 1e9)
+	}
 	for i := int32(0); i < d.nspans; i++ {
 		sp := &d.spans[i]
 		if int(sp.kind) < numKinds {
 			m.spans[sp.kind].Observe(float64(sp.dur) / 1e9)
 		}
 	}
-	// The gauge tracks the max root duration; commits may race, so CAS the
-	// monotone max and only the winning writer refreshes the gauge.
+	// The gauge tracks the max window-root duration (ingest roots share the
+	// ring but not this gauge); commits may race, so CAS the monotone max and
+	// only the winning writer refreshes the gauge.
+	if d.kind != KindWindow {
+		return
+	}
 	for {
 		cur := m.maxDur.Load()
 		if d.dur <= cur {

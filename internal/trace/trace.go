@@ -4,7 +4,11 @@
 // spend its time on": every published window carries a root span with child
 // spans per pipeline stage (source, mine, perturb, emit, checkpoint.save,
 // resume) and per publisher phase (bias.opt, cache), each with numeric
-// attributes (record counts, cache traffic, retry attempts).
+// attributes (record counts, cache traffic, retry attempts). The server
+// layer reuses the same ring with ingest-request roots (StartRoot with
+// KindIngest, children parse/wal.append/wal.fsync/enqueue.wait), so a
+// single per-stream trace shows a record's full path from HTTP accept to
+// published window.
 //
 // The design is a flight recorder, not a streaming exporter:
 //
@@ -74,13 +78,30 @@ const (
 	// KindRetry is one failed delivery attempt that was retried, a child of
 	// emit.
 	KindRetry
+	// KindIngest is a server-side root span: one HTTP ingest request's whole
+	// life inside a stream, from the first parsed byte to the last record
+	// enqueued (recorded by internal/server, not the pipeline).
+	KindIngest
+	// KindParse is the aggregate record-decode time of one ingest request, a
+	// child of ingest.
+	KindParse
+	// KindWALAppend is the aggregate WAL encode+stage time of one ingest
+	// request, a child of ingest.
+	KindWALAppend
+	// KindWALFsync is the group sync that made one ingest request durable
+	// before its 2xx, a child of ingest.
+	KindWALFsync
+	// KindEnqueue is the time one ingest request spent blocked handing its
+	// accepted records to the pipeline queue, a child of ingest.
+	KindEnqueue
 
-	numKinds = int(KindRetry) + 1
+	numKinds = int(KindEnqueue) + 1
 )
 
 var kindNames = [numKinds]string{
 	"window", "source", "mine", "perturb", "emit",
 	"checkpoint.save", "resume", "bias.opt", "cache", "retry",
+	"ingest", "parse", "wal.append", "wal.fsync", "enqueue.wait",
 }
 
 // String returns the stable span name ("mine", "checkpoint.save", ...).
@@ -127,13 +148,19 @@ const (
 	// AttrBiasReused is 1 when the bias optimization reused the previous
 	// window's result (identical FEC ladder), else 0.
 	AttrBiasReused
+	// AttrLines is the accepted-line count of an ingest request (good + bad).
+	AttrLines
+	// AttrQueueLen is the pipeline queue depth observed when an ingest
+	// request finished enqueuing.
+	AttrQueueLen
 
-	numAttrKeys = int(AttrBiasReused) + 1
+	numAttrKeys = int(AttrQueueLen) + 1
 )
 
 var attrKeyNames = [numAttrKeys]string{
 	"window", "records", "bad_records", "retries", "attempt",
 	"cache_hits", "cache_misses", "itemsets", "bias_reused",
+	"lines", "queue_len",
 }
 
 // String returns the stable attribute name used in the Chrome JSON args.
@@ -171,6 +198,7 @@ type windowData struct {
 	commit  uint64 // commit sequence, assigned by Commit
 	start   int64  // root span start, nanos since epoch
 	dur     int64  // root span duration, set by Commit
+	kind    Kind   // root span kind; zero value is KindWindow
 	nroot   int8   // attributes on the root span
 	nspans  int32
 	dropped int32
@@ -272,7 +300,7 @@ type ringRec struct {
 	commit  atomic.Uint64
 	start   atomic.Int64
 	dur     atomic.Int64
-	rootw   atomic.Uint64 // nroot
+	rootw   atomic.Uint64 // kind<<8 | nroot
 	rkey    [MaxAttrs]atomic.Uint32
 	rval    [MaxAttrs]atomic.Int64
 	nspans  atomic.Int32
@@ -286,7 +314,7 @@ func (r *ringRec) store(d *windowData) {
 	r.commit.Store(d.commit)
 	r.start.Store(d.start)
 	r.dur.Store(d.dur)
-	r.rootw.Store(uint64(d.nroot))
+	r.rootw.Store(uint64(d.kind)<<8 | uint64(d.nroot))
 	for i := 0; i < int(d.nroot); i++ {
 		r.rkey[i].Store(uint32(d.rkey[i]))
 		r.rval[i].Store(d.rval[i])
@@ -321,7 +349,9 @@ func (r *ringRec) load(d *windowData) bool {
 		d.commit = r.commit.Load()
 		d.start = r.start.Load()
 		d.dur = r.dur.Load()
-		d.nroot = int8(r.rootw.Load())
+		rootw := r.rootw.Load()
+		d.kind = Kind(rootw >> 8)
+		d.nroot = int8(rootw & 0xff)
 		if d.nroot < 0 || int(d.nroot) > MaxAttrs {
 			continue
 		}
@@ -440,6 +470,14 @@ func (t *Tracer) clock() time.Time {
 // finish with Commit. A nil tracer returns a nil Window, whose methods all
 // no-op.
 func (t *Tracer) StartWindow() *Window {
+	return t.StartRoot(KindWindow)
+}
+
+// StartRoot begins recording a trace rooted at an arbitrary span kind — the
+// server uses KindIngest roots so one ring carries both window traces and
+// the ingest requests that fed them. Only KindWindow roots compete for the
+// slowest-window exemplar store and gauge; every root kind shares the ring.
+func (t *Tracer) StartRoot(kind Kind) *Window {
 	if t == nil {
 		return nil
 	}
@@ -451,6 +489,7 @@ func (t *Tracer) StartWindow() *Window {
 		w = &Window{}
 	}
 	w.t = t
+	w.kind = kind
 	w.start = t.clock().Sub(t.epoch).Nanoseconds()
 	return w
 }
@@ -482,7 +521,9 @@ func (t *Tracer) Commit(w *Window) {
 	slot.store(&w.windowData)
 	slot.seq.Add(1)
 
-	t.admitExemplar(&w.windowData)
+	if w.kind == KindWindow {
+		t.admitExemplar(&w.windowData)
+	}
 	t.observe(&w.windowData)
 
 	select {
@@ -548,10 +589,12 @@ type Span struct {
 	Attrs []Attr        `json:"attrs,omitempty"`
 }
 
-// Record is one window's decoded trace.
+// Record is one root span's decoded trace (a window, or a server-side
+// ingest request).
 type Record struct {
 	Window  uint64        `json:"window"`
-	Seq     uint64        `json:"seq"` // commit order
+	Kind    string        `json:"kind"` // root span kind ("window", "ingest", ...)
+	Seq     uint64        `json:"seq"`  // commit order
 	Start   time.Duration `json:"start"`
 	Dur     time.Duration `json:"dur"`
 	Dropped int           `json:"dropped,omitempty"`
@@ -573,6 +616,7 @@ func decodeAttrs(n int, keys *[MaxAttrs]AttrKey, vals *[MaxAttrs]int64) []Attr {
 func (d *windowData) record() Record {
 	rec := Record{
 		Window:  d.id,
+		Kind:    d.kind.String(),
 		Seq:     d.commit,
 		Start:   time.Duration(d.start),
 		Dur:     time.Duration(d.dur),
